@@ -1,0 +1,459 @@
+package eaao
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (one benchmark per artifact, as indexed in DESIGN.md §3) and
+// adds ablation benches for the design choices the reproduction calls out.
+//
+// Benchmarks run at Quick scale (~4× smaller fleet, 200-instance launches)
+// so `go test -bench=.` completes in well under a minute; the eaao CLI runs
+// the same experiments at the paper's full scale. Headline numbers are
+// attached to each benchmark via ReportMetric, so `-bench` output doubles as
+// a regression record of the reproduced results.
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"eaao/internal/core/coloc"
+	"eaao/internal/core/covert"
+	"eaao/internal/core/fingerprint"
+	"eaao/internal/faas"
+	"eaao/internal/metrics"
+	"eaao/internal/sandbox"
+)
+
+// benchCtx is the shared benchmark configuration. Seed 42 is the same world
+// the experiment test suite validates (with seed 1, all three study accounts
+// happen to hash into one placement group, which flattens the Fig. 8 step
+// pattern — a legitimate outcome, but not the illustrative one).
+func benchCtx() ExperimentContext { return ExperimentContext{Seed: 42, Quick: true} }
+
+// runArtifact executes one experiment b.N times and reports the named
+// metrics from the final run.
+func runArtifact(b *testing.B, id string, reported ...string) {
+	b.Helper()
+	var res *ExperimentResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = RunExperiment(id, benchCtx())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, m := range reported {
+		if v, ok := res.Metrics[m]; ok {
+			b.ReportMetric(v, m)
+		}
+	}
+}
+
+// --- one benchmark per paper artifact ------------------------------------
+
+func BenchmarkFig4FingerprintAccuracy(b *testing.B) {
+	runArtifact(b, "fig4", "fmi@1s", "fmi@100ms", "recall@1ms", "precision@1000s")
+}
+
+func BenchmarkFig5ExpirationCDF(b *testing.B) {
+	runArtifact(b, "fig5", "cdf_at_2_days", "median_expiration_days", "min_abs_r")
+}
+
+func BenchmarkFig6IdleTermination(b *testing.B) {
+	runArtifact(b, "fig6", "grace_minutes", "all_gone_minutes")
+}
+
+func BenchmarkFig7BaseHosts(b *testing.B) {
+	runArtifact(b, "fig7", "first_launch_hosts", "cumulative_after_6", "growth")
+}
+
+func BenchmarkFig8AccountBaseHosts(b *testing.B) {
+	runArtifact(b, "fig8", "step_launch3", "step_launch5", "cumulative_after_6")
+}
+
+func BenchmarkFig9HelperHosts(b *testing.B) {
+	runArtifact(b, "fig9", "extra_hosts_10min", "extra_hosts_2min", "extra_hosts_45min")
+}
+
+func BenchmarkFig10HelperOverlap(b *testing.B) {
+	runArtifact(b, "fig10", "episode1_helpers", "cumulative_after_6_episodes")
+}
+
+func BenchmarkFig11aCoverageByCount(b *testing.B) {
+	runArtifact(b, "fig11a",
+		"coverage_us-east1_account-2", "coverage_us-central1_account-2", "coverage_us-west1_account-2")
+}
+
+func BenchmarkFig11bCoverageBySize(b *testing.B) {
+	runArtifact(b, "fig11b", "size_spread_us-east1", "size_spread_us-central1")
+}
+
+func BenchmarkFig12ClusterScale(b *testing.B) {
+	runArtifact(b, "fig12",
+		"found_us-east1", "found_us-central1", "found_us-west1", "attacker_share_us-east1")
+}
+
+func BenchmarkTable1Sizes(b *testing.B) {
+	runArtifact(b, "table1", "sizes")
+}
+
+func BenchmarkFreqMeasurement(b *testing.B) {
+	runArtifact(b, "freq", "problematic_frac", "median_std_hz")
+}
+
+func BenchmarkVerifyCost(b *testing.B) {
+	runArtifact(b, "verifycost", "ours_tests", "pairwise_tests", "speedup", "ours_usd")
+}
+
+func BenchmarkGen2Fingerprint(b *testing.B) {
+	runArtifact(b, "gen2", "fmi", "precision", "recall", "hosts_per_fingerprint")
+}
+
+func BenchmarkNaiveStrategy(b *testing.B) {
+	runArtifact(b, "naive", "zero_pairs", "high_pairs")
+}
+
+func BenchmarkAttackCost(b *testing.B) {
+	runArtifact(b, "cost", "usd_us-east1", "usd_us-central1", "usd_us-west1")
+}
+
+func BenchmarkGen2Coverage(b *testing.B) {
+	runArtifact(b, "gen2cov", "coverage_us-east1_account-2", "coverage_us-west1_account-2")
+}
+
+func BenchmarkMitigations(b *testing.B) {
+	runArtifact(b, "mitigation",
+		"gen1_recall_mitigated", "gen2_precision_mitigated", "timer_overhead_factor")
+}
+
+func BenchmarkExtraction(b *testing.B) {
+	runArtifact(b, "extraction", "colocated_accuracy", "remote_accuracy")
+}
+
+func BenchmarkReattack(b *testing.B) {
+	runArtifact(b, "reattack", "focus_effort", "reattack_focused_coverage")
+}
+
+// --- ablations ------------------------------------------------------------
+
+// benchWorld launches n instances in a small single-region world.
+func benchWorld(seed uint64, n int, gen sandbox.Gen) (*Platform, []*Instance) {
+	p := faas.USEast1Profile()
+	p.Name = "bench"
+	p.NumHosts = 150
+	p.PlacementGroups = 3
+	p.BasePoolSize = 40
+	p.AccountHelperPool = 70
+	p.ServiceHelperSize = 55
+	p.ServiceHelperFresh = 5
+	pl := faas.MustPlatform(seed, p)
+	insts, err := pl.MustRegion("bench").Account("a").
+		DeployService("s", faas.ServiceConfig{Gen: gen}).Launch(n)
+	if err != nil {
+		panic(err)
+	}
+	return pl, insts
+}
+
+func gen1Items(insts []*Instance, precision time.Duration) []coloc.Item {
+	items := make([]coloc.Item, len(insts))
+	for i, inst := range insts {
+		s, err := fingerprint.CollectGen1(inst.MustGuest())
+		if err != nil {
+			panic(err)
+		}
+		fp := fingerprint.Gen1FromSample(s, precision)
+		items[i] = coloc.Item{Inst: inst, Fingerprint: fp.String(), ConflictKey: fp.Model}
+	}
+	return items
+}
+
+// BenchmarkAblationThresholdM varies the covert-channel contention threshold
+// m: larger m allows bigger groups per test (2m−1) but cannot confirm hosts
+// holding fewer than m of our instances.
+func BenchmarkAblationThresholdM(b *testing.B) {
+	for _, m := range []int{2, 3, 4} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			var tests, recallPct float64
+			for i := 0; i < b.N; i++ {
+				pl, insts := benchWorld(11, 150, sandbox.Gen1)
+				tester := covert.NewTester(pl.Scheduler(), covert.DefaultConfig())
+				items := gen1Items(insts, fingerprint.DefaultPrecision)
+				res, err := coloc.Verify(tester, items, coloc.Options{M: m})
+				if err != nil {
+					b.Fatal(err)
+				}
+				truth := make([]faas.HostID, len(insts))
+				for j, inst := range insts {
+					truth[j], _ = inst.HostID()
+				}
+				sc := metrics.ScoreOf(res.Labels, truth)
+				tests = float64(res.Tests)
+				recallPct = sc.Recall * 100
+			}
+			b.ReportMetric(tests, "tests")
+			b.ReportMetric(recallPct, "recall%")
+		})
+	}
+}
+
+// BenchmarkAblationVerification compares the scalable methodology against
+// the pairwise and SIE baselines at equal instance counts.
+func BenchmarkAblationVerification(b *testing.B) {
+	const n = 80
+	run := func(b *testing.B, f func(*covert.Tester, []*Instance) (*coloc.Result, error)) {
+		var tests float64
+		for i := 0; i < b.N; i++ {
+			pl, insts := benchWorld(12, n, sandbox.Gen1)
+			tester := covert.NewTester(pl.Scheduler(), covert.DefaultConfig())
+			res, err := f(tester, insts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tests = float64(res.Tests)
+		}
+		b.ReportMetric(tests, "tests")
+	}
+	b.Run("scalable", func(b *testing.B) {
+		run(b, func(t *covert.Tester, insts []*Instance) (*coloc.Result, error) {
+			return coloc.Verify(t, gen1Items(insts, fingerprint.DefaultPrecision), coloc.DefaultOptions())
+		})
+	})
+	b.Run("pairwise", func(b *testing.B) { run(b, coloc.VerifyPairwise) })
+	b.Run("sie", func(b *testing.B) { run(b, coloc.VerifySIE) })
+}
+
+// BenchmarkAblationFreqMethod compares fingerprinting with the reported TSC
+// frequency (method 1: drifts, but works everywhere) against the measured
+// frequency (method 2: drift-free, but unusable on problematic hosts).
+func BenchmarkAblationFreqMethod(b *testing.B) {
+	score := func(useMeasured bool) (fmi float64) {
+		// A world with many timekeeping-disturbed hosts: this is where the
+		// two methods diverge (method 2's estimates scatter, so co-located
+		// instances derive different boot times — false negatives).
+		p := faas.USEast1Profile()
+		p.Name = "bench"
+		p.NumHosts = 150
+		p.PlacementGroups = 3
+		p.BasePoolSize = 40
+		p.AccountHelperPool = 70
+		p.ServiceHelperSize = 55
+		p.ServiceHelperFresh = 5
+		p.ProblematicHostFrac = 0.5
+		pl := faas.MustPlatform(13, p)
+		insts, err := pl.MustRegion("bench").Account("a").
+			DeployService("s", faas.ServiceConfig{}).Launch(150)
+		if err != nil {
+			b.Fatal(err)
+		}
+		truth := make([]faas.HostID, len(insts))
+		for j, inst := range insts {
+			truth[j], _ = inst.HostID()
+		}
+		fps := make([]fingerprint.Gen1, len(insts))
+		for j, inst := range insts {
+			g := inst.MustGuest()
+			s, err := fingerprint.CollectGen1(g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			boot := s.BootTimeReported()
+			if useMeasured {
+				m, err := fingerprint.MeasureFrequency(g, pl.Scheduler(), 100*time.Millisecond, 10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				boot = fingerprint.BootTimeMeasured(s, m)
+			}
+			fps[j] = fingerprint.Gen1FromBootTime(s.Model, boot, fingerprint.DefaultPrecision)
+		}
+		return metrics.ScoreOf(fps, truth).FMI
+	}
+	b.Run("reported", func(b *testing.B) {
+		var fmi float64
+		for i := 0; i < b.N; i++ {
+			fmi = score(false)
+		}
+		b.ReportMetric(fmi, "fmi")
+	})
+	b.Run("measured", func(b *testing.B) {
+		var fmi float64
+		for i := 0; i < b.N; i++ {
+			fmi = score(true)
+		}
+		b.ReportMetric(fmi, "fmi")
+	})
+}
+
+// BenchmarkAblationLaunchInterval sweeps the relaunch interval of the
+// optimized strategy: the demand window (30 min) gates helper placement.
+func BenchmarkAblationLaunchInterval(b *testing.B) {
+	for _, interval := range []time.Duration{2 * time.Minute, 10 * time.Minute, 45 * time.Minute} {
+		b.Run(interval.String(), func(b *testing.B) {
+			var footprint float64
+			for i := 0; i < b.N; i++ {
+				pl, _ := benchWorld(14, 1, sandbox.Gen1)
+				dc := pl.MustRegion("bench")
+				cfg := DefaultAttackConfig()
+				cfg.Services = 2
+				cfg.InstancesPerLaunch = 200
+				cfg.Launches = 4
+				cfg.Interval = interval
+				res, err := RunOptimizedAttack(dc.Account("atk"), cfg, Gen1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				footprint = float64(res.Footprint.Cumulative())
+			}
+			b.ReportMetric(footprint, "hosts")
+		})
+	}
+}
+
+// BenchmarkAblationServiceCount sweeps the number of attacker services:
+// same-account helper sets overlap, so returns diminish.
+func BenchmarkAblationServiceCount(b *testing.B) {
+	for _, services := range []int{1, 3, 6} {
+		b.Run(fmt.Sprintf("services=%d", services), func(b *testing.B) {
+			var footprint float64
+			for i := 0; i < b.N; i++ {
+				pl, _ := benchWorld(15, 1, sandbox.Gen1)
+				dc := pl.MustRegion("bench")
+				cfg := DefaultAttackConfig()
+				cfg.Services = services
+				cfg.InstancesPerLaunch = 200
+				cfg.Launches = 4
+				res, err := RunOptimizedAttack(dc.Account("atk"), cfg, Gen1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				footprint = float64(res.Footprint.Cumulative())
+			}
+			b.ReportMetric(footprint, "hosts")
+		})
+	}
+}
+
+// BenchmarkAblationChannel compares the paper's RNG covert channel against
+// the memory-bus channel of prior co-location studies: equal verification
+// quality, but the bus channel's multi-second tests dominate the campaign's
+// wall-clock cost.
+func BenchmarkAblationChannel(b *testing.B) {
+	configs := []struct {
+		name string
+		cfg  covert.Config
+	}{
+		{"rng", covert.DefaultConfig()},
+		{"membus", covert.MemBusConfig()},
+	}
+	for _, c := range configs {
+		b.Run(c.name, func(b *testing.B) {
+			var tests float64
+			var minutes float64
+			for i := 0; i < b.N; i++ {
+				pl, insts := benchWorld(16, 120, sandbox.Gen1)
+				tester := covert.NewTester(pl.Scheduler(), c.cfg)
+				items := gen1Items(insts, fingerprint.DefaultPrecision)
+				res, err := coloc.Verify(tester, items, coloc.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				tests = float64(res.Tests)
+				minutes = res.SerializedTime.Minutes()
+			}
+			b.ReportMetric(tests, "tests")
+			b.ReportMetric(minutes, "verify-minutes")
+		})
+	}
+}
+
+// BenchmarkAblationSandboxGeneration quantifies the §2.3 trade-off that
+// makes Gen 1 the platform default: container startup latency (Gen 1 fast,
+// Gen 2 VM slow) on image-warm hosts.
+func BenchmarkAblationSandboxGeneration(b *testing.B) {
+	for _, gen := range []sandbox.Gen{sandbox.Gen1, sandbox.Gen2} {
+		b.Run(gen.String(), func(b *testing.B) {
+			var medianMs float64
+			for i := 0; i < b.N; i++ {
+				pl, _ := benchWorld(17, 1, gen)
+				dc := pl.MustRegion("bench")
+				svc := dc.Account("a").DeployService("svc", faas.ServiceConfig{Gen: gen})
+				if _, err := svc.Launch(150); err != nil {
+					b.Fatal(err)
+				}
+				svc.Disconnect()
+				pl.Scheduler().Advance(45 * time.Minute)
+				insts, err := svc.Launch(150)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lats := make([]float64, len(insts))
+				for j, inst := range insts {
+					lats[j] = float64(inst.StartupLatency().Milliseconds())
+				}
+				sort.Float64s(lats)
+				medianMs = lats[len(lats)/2]
+			}
+			b.ReportMetric(medianMs, "startup-ms-p50")
+		})
+	}
+}
+
+// BenchmarkAblationDynamicPlacement sweeps the base-pool resampling fraction
+// — the mechanism behind us-central1's lower coverage: the more of a
+// victim's base pool is reshuffled per cold launch, the more of its
+// instances escape a fixed attacker footprint.
+func BenchmarkAblationDynamicPlacement(b *testing.B) {
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75} {
+		b.Run(fmt.Sprintf("resample=%.2f", frac), func(b *testing.B) {
+			var coverage float64
+			for i := 0; i < b.N; i++ {
+				// A larger fleet with a modest attacker footprint (~40%),
+				// so coverage hinges on placement predictability.
+				p := faas.USEast1Profile()
+				p.Name = "bench"
+				p.NumHosts = 300
+				p.PlacementGroups = 3
+				p.BasePoolSize = 90
+				p.AccountHelperPool = 90
+				p.ServiceHelperSize = 70
+				p.ServiceHelperFresh = 5
+				if frac > 0 {
+					p.DynamicPlacement = true
+					p.DynamicResampleFrac = frac
+				}
+				pl := faas.MustPlatform(20, p)
+				dc := pl.MustRegion("bench")
+				cfg := DefaultAttackConfig()
+				cfg.Services = 2
+				cfg.InstancesPerLaunch = 250
+				cfg.Launches = 4
+				camp, err := RunOptimizedAttack(dc.Account("attacker"), cfg, Gen1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Victim cold-launches several times; dynamic regions shuffle
+				// part of its base pool each time.
+				vicSvc := dc.Account("victim").DeployService("v", faas.ServiceConfig{})
+				var vic []*Instance
+				for l := 0; l < 3; l++ {
+					vic, err = vicSvc.Launch(60)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if l < 2 {
+						vicSvc.Disconnect()
+						pl.Scheduler().Advance(45 * time.Minute)
+					}
+				}
+				tester := covert.NewTester(pl.Scheduler(), covert.DefaultConfig())
+				cov, err := MeasureCoverage(tester, camp.Live, vic, cfg.Precision)
+				if err != nil {
+					b.Fatal(err)
+				}
+				coverage = cov.Fraction()
+			}
+			b.ReportMetric(coverage, "coverage")
+		})
+	}
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"eaao"
+)
+
+// runAttack implements `eaao attack`: a parameterized attacker-vs-victim
+// campaign on a fresh simulated platform, printing the coverage report and
+// campaign cost. It is the CLI face of examples/colocation-attack.
+func runAttack(args []string, seed uint64, quick bool) error {
+	fs := flag.NewFlagSet("attack", flag.ExitOnError)
+	region := fs.String("region", string(eaao.USEast1), "target region (us-east1, us-central1, us-west1)")
+	services := fs.Int("services", 6, "attacker services")
+	perLaunch := fs.Int("instances", 800, "instances per launch")
+	launches := fs.Int("launches", 6, "launches per service")
+	interval := fs.Duration("interval", 10*time.Minute, "interval between launches")
+	victims := fs.Int("victims", 100, "victim instances")
+	strategy := fs.String("strategy", "optimized", "naive or optimized")
+	gen2 := fs.Bool("gen2", false, "use the Gen 2 (VM) environment on both sides")
+	fs.SetOutput(os.Stderr)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	profiles := eaao.DefaultProfiles()
+	if quick {
+		// Match the experiment harness's reduced scale.
+		for i := range profiles {
+			profiles[i].NumHosts /= 4
+			profiles[i].BasePoolSize /= 4
+			profiles[i].AccountHelperPool /= 4
+			profiles[i].ServiceHelperSize /= 4
+			if profiles[i].ServiceHelperFresh > 4 {
+				profiles[i].ServiceHelperFresh /= 4
+			}
+		}
+		if *perLaunch == 800 {
+			*perLaunch = 200
+		}
+	}
+	pl := eaao.NewPlatform(seed, profiles...)
+	dc, err := pl.Region(eaao.Region(*region))
+	if err != nil {
+		return err
+	}
+
+	gen := eaao.Gen1
+	if *gen2 {
+		gen = eaao.Gen2
+	}
+	vic, err := dc.Account("victim").DeployService("victim-svc",
+		eaao.ServiceConfig{Gen: gen}).Launch(*victims)
+	if err != nil {
+		return err
+	}
+
+	cfg := eaao.DefaultAttackConfig()
+	cfg.Services = *services
+	cfg.InstancesPerLaunch = *perLaunch
+	cfg.Launches = *launches
+	cfg.Interval = *interval
+
+	attacker := dc.Account("attacker")
+	attacker.ResetBill()
+	start := time.Now()
+	var camp *eaao.CampaignResult
+	switch *strategy {
+	case "naive":
+		camp, err = eaao.RunNaiveAttack(attacker, cfg, gen)
+	case "optimized":
+		camp, err = eaao.RunOptimizedAttack(attacker, cfg, gen)
+	default:
+		return fmt.Errorf("unknown strategy %q (naive or optimized)", *strategy)
+	}
+	if err != nil {
+		return err
+	}
+
+	tester := eaao.NewCovertTester(pl.Scheduler())
+	cov, spies, err := eaao.MeasureCoverageDetail(tester, camp.Live, vic, cfg.Precision)
+	if err != nil {
+		return err
+	}
+	bill := attacker.Bill()
+	cost := eaao.CloudRunRates().Cost(bill.VCPUSeconds, bill.GBSeconds)
+
+	fmt.Printf("region:            %s (%s, %s strategy)\n", dc.Region(), gen, *strategy)
+	fmt.Printf("campaign:          %d services × %d launches × %d instances @ %v\n",
+		cfg.Services, cfg.Launches, cfg.InstancesPerLaunch, cfg.Interval)
+	fmt.Printf("attacker footprint: %d apparent hosts, %d live instances\n",
+		camp.Footprint.Cumulative(), len(camp.Live))
+	fmt.Printf("victim coverage:   %s\n", cov)
+	fmt.Printf("co-located spies:  %d\n", len(spies))
+	fmt.Printf("campaign cost:     $%.2f (%d instances created)\n", cost, bill.Instances)
+	fmt.Printf("(simulated in %v)\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,169 @@
+// Command eaao runs the paper-reproduction experiments.
+//
+// Usage:
+//
+//	eaao list                      # list every reproducible artifact
+//	eaao run fig4 [fig5 ...]       # regenerate specific figures/tables
+//	eaao run all                   # regenerate everything
+//
+// Flags:
+//
+//	-seed N    root seed (default 1)
+//	-quick     reduced scale (~4x smaller fleet, fewer reps)
+//	-csv       also print each table as CSV
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"eaao"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 9, "root random seed")
+	quick := flag.Bool("quick", false, "reduced scale for fast runs")
+	csv := flag.Bool("csv", false, "print tables as CSV too")
+	svgDir := flag.String("svg", "", "directory to write figure SVGs into")
+	jsonOut := flag.Bool("json", false, "emit results as JSON instead of text")
+	parallel := flag.Bool("parallel", false, "run experiments concurrently (each owns its own simulated world)")
+	flag.Usage = usage
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	switch args[0] {
+	case "attack":
+		if err := runAttack(args[1:], *seed, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "eaao attack: %v\n", err)
+			os.Exit(1)
+		}
+	case "list":
+		for _, d := range eaao.Experiments() {
+			fmt.Printf("%-12s %-55s %s\n", d.ID, d.Title, d.PaperRef)
+		}
+	case "run":
+		ids := args[1:]
+		if len(ids) == 0 {
+			fmt.Fprintln(os.Stderr, "eaao run: no experiment ids (try 'eaao list' or 'eaao run all')")
+			os.Exit(2)
+		}
+		if len(ids) == 1 && ids[0] == "all" {
+			ids = nil
+			for _, d := range eaao.Experiments() {
+				ids = append(ids, d.ID)
+			}
+		}
+		ctx := eaao.ExperimentContext{Seed: *seed, Quick: *quick}
+
+		// Each experiment builds its own deterministic world, so runs are
+		// independent and can proceed concurrently; results print in the
+		// requested order either way.
+		type outcome struct {
+			res     *eaao.ExperimentResult
+			err     error
+			elapsed time.Duration
+		}
+		outcomes := make([]outcome, len(ids))
+		if *parallel {
+			var wg sync.WaitGroup
+			for i, id := range ids {
+				wg.Add(1)
+				go func(i int, id string) {
+					defer wg.Done()
+					start := time.Now()
+					res, err := eaao.RunExperiment(id, ctx)
+					outcomes[i] = outcome{res, err, time.Since(start)}
+				}(i, id)
+			}
+			wg.Wait()
+		}
+		for i, id := range ids {
+			var res *eaao.ExperimentResult
+			var err error
+			var elapsed time.Duration
+			if *parallel {
+				res, err, elapsed = outcomes[i].res, outcomes[i].err, outcomes[i].elapsed
+			} else {
+				start := time.Now()
+				res, err = eaao.RunExperiment(id, ctx)
+				elapsed = time.Since(start)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "eaao: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			if *jsonOut {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				if err := enc.Encode(res); err != nil {
+					fmt.Fprintf(os.Stderr, "eaao: %s: %v\n", id, err)
+					os.Exit(1)
+				}
+			} else {
+				fmt.Print(res.String())
+			}
+			if *csv {
+				for _, t := range res.Tables {
+					fmt.Println(t.CSV())
+				}
+			}
+			if *svgDir != "" {
+				if err := writeSVGs(*svgDir, res); err != nil {
+					fmt.Fprintf(os.Stderr, "eaao: %s: %v\n", id, err)
+					os.Exit(1)
+				}
+			}
+			if !*jsonOut {
+				fmt.Printf("(%s completed in %v)\n\n", id, elapsed.Round(time.Millisecond))
+			}
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+// writeSVGs renders every figure of a result into dir. Figures whose x axis
+// spans several orders of magnitude (the p_boot sweep) use a log scale.
+func writeSVGs(dir string, res *eaao.ExperimentResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, fig := range res.Figures {
+		logX := false
+		for _, s := range fig.Series {
+			if len(s.X) >= 2 && s.X[0] > 0 && s.X[len(s.X)-1]/s.X[0] >= 1000 {
+				logX = true
+			}
+		}
+		path := filepath.Join(dir, fig.ID+".svg")
+		if err := os.WriteFile(path, []byte(fig.SVG(720, 400, logX)), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	return nil
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `eaao — "Everywhere All at Once" (ASPLOS 2024) reproduction
+
+usage:
+  eaao [flags] list
+  eaao [flags] run <id>... | all
+  eaao [flags] attack [-region R] [-strategy naive|optimized] [-victims N] ...
+
+flags:
+`)
+	flag.PrintDefaults()
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"eaao"
+)
+
+func TestWriteSVGs(t *testing.T) {
+	dir := t.TempDir()
+	res, err := eaao.RunExperiment("fig6", eaao.ExperimentContext{Seed: 42, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSVGs(dir, res); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig6.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Error("not an SVG file")
+	}
+}
+
+func TestWriteSVGsLogAxis(t *testing.T) {
+	// fig4's p_boot sweep spans 7 decades: the writer must choose a log
+	// axis (marked in the x label).
+	dir := t.TempDir()
+	res, err := eaao.RunExperiment("fig4", eaao.ExperimentContext{Seed: 42, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSVGs(dir, res); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig4.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "(log)") {
+		t.Error("wide-range x axis not rendered logarithmically")
+	}
+}
+
+func TestRunAttackSmoke(t *testing.T) {
+	args := []string{
+		"-region", "us-west1",
+		"-services", "2",
+		"-instances", "150",
+		"-launches", "3",
+		"-victims", "30",
+	}
+	if err := runAttack(args, 42, true); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown strategy and region errors surface.
+	if err := runAttack([]string{"-strategy", "bogus"}, 42, true); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+	if err := runAttack([]string{"-region", "mars"}, 42, true); err == nil {
+		t.Error("bogus region accepted")
+	}
+}

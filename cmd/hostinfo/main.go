@@ -1,0 +1,55 @@
+// Command hostinfo fingerprints the machine it runs on using the paper's
+// Gen 1 primitive against real hardware: it reads the timestamp counter
+// (RDTSC on amd64), measures the actual TSC frequency with wall-clock pairs
+// (method 2 of §4.2), and derives the boot time via Eq. 4.1.
+//
+// Run it twice and the derived boot times match — that is the fingerprint.
+// Run it inside a VM with TSC offsetting and it reports the VM's boot time
+// instead of the host's — the Gen 2 limitation the paper works around with
+// frequency fingerprints.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"eaao/internal/hwtsc"
+)
+
+func main() {
+	interval := flag.Duration("interval", 100*time.Millisecond, "wall-clock interval between TSC reads (ΔT_w)")
+	reps := flag.Int("reps", 10, "measurement repetitions")
+	precision := flag.Duration("precision", time.Second, "boot-time rounding precision (p_boot)")
+	flag.Parse()
+
+	if hwtsc.Supported() {
+		fmt.Println("timestamp counter: hardware RDTSC")
+	} else {
+		fmt.Println("timestamp counter: synthetic (non-amd64 fallback; values are process-relative)")
+	}
+
+	m, err := hwtsc.MeasureFrequency(*interval, *reps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hostinfo:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("measured TSC frequency: %.0f Hz (stddev %.0f Hz over %d reps)\n",
+		m.Hz, m.StdHz, len(m.Samples))
+	if m.StdHz >= 10e3 {
+		fmt.Println("warning: frequency measurement is unstable (a 'problematic' host in the paper's terms)")
+	}
+
+	tsc, wall := hwtsc.ReadPaired()
+	boot := hwtsc.BootTime(tsc, wall, m.Hz)
+	uptime := wall.Sub(boot)
+	rounded := boot.Truncate(*precision)
+
+	fmt.Printf("tsc value:              %d\n", tsc)
+	fmt.Printf("wall clock:             %s\n", wall.Format(time.RFC3339Nano))
+	fmt.Printf("derived uptime:         %s\n", uptime.Round(time.Second))
+	fmt.Printf("derived boot time:      %s\n", boot.Format(time.RFC3339Nano))
+	fmt.Printf("fingerprint (p=%v):     %s\n", *precision, rounded.Format(time.RFC3339))
+	fmt.Println("\nnote: inside a VM with TSC offsetting this is the VM's boot time, not the host's (§4.5)")
+}

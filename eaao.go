@@ -1,0 +1,293 @@
+// Package eaao is a Go reproduction of "Everywhere All at Once: Co-Location
+// Attacks on Public Cloud FaaS" (ASPLOS 2024).
+//
+// The package bundles three layers:
+//
+//   - A deterministic simulator of a Cloud-Run-like FaaS platform
+//     (NewPlatform): physical hosts with real TSC physics, accounts,
+//     services, container instances, and an orchestrator reproducing the
+//     placement behaviours the paper reverse-engineered (base hosts, helper
+//     hosts, demand-window load balancing, gradual idle termination).
+//   - The paper's attacker toolkit: TSC-based host fingerprinting for the
+//     Gen 1 (gVisor) and Gen 2 (VM) sandboxes, the n-way RNG-contention
+//     covert channel, scalable co-location verification, and the naive and
+//     optimized instance-launching strategies.
+//   - The full evaluation harness: every figure and table of the paper can
+//     be regenerated with RunExperiment (see Experiments for the catalog).
+//
+// A minimal end-to-end use:
+//
+//	pl := eaao.NewPlatform(42, eaao.USEast1Profile())
+//	dc := pl.MustRegion(eaao.USEast1)
+//	svc := dc.Account("me").DeployService("probe", eaao.ServiceConfig{})
+//	insts, _ := svc.Launch(100)
+//	g := insts[0].MustGuest()
+//	sample, _ := eaao.CollectGen1(g)
+//	fp := eaao.Gen1FromSample(sample, eaao.DefaultPrecision)
+//	fmt.Println(fp) // the physical host's fingerprint
+//
+// Everything is deterministic in the seed: identical seeds produce identical
+// worlds, launches, fingerprints, and attack outcomes.
+package eaao
+
+import (
+	"io"
+	"time"
+
+	"eaao/internal/core/attack"
+	"eaao/internal/core/coloc"
+	"eaao/internal/core/covert"
+	"eaao/internal/core/extraction"
+	"eaao/internal/core/fingerprint"
+	"eaao/internal/experiments"
+	"eaao/internal/faas"
+	"eaao/internal/pricing"
+	"eaao/internal/sandbox"
+	"eaao/internal/simtime"
+)
+
+// Platform simulation types.
+type (
+	// Platform is the simulated cloud (virtual clock + data centers).
+	Platform = faas.Platform
+	// DataCenter is one simulated region.
+	DataCenter = faas.DataCenter
+	// Region names a data center.
+	Region = faas.Region
+	// RegionProfile parameterizes a data center's fleet and orchestrator.
+	RegionProfile = faas.RegionProfile
+	// Account is one tenant identity.
+	Account = faas.Account
+	// Service is a deployed function.
+	Service = faas.Service
+	// ServiceConfig configures a deployment (size, sandbox generation).
+	ServiceConfig = faas.ServiceConfig
+	// Instance is one container instance.
+	Instance = faas.Instance
+	// HostID is a ground-truth host identity (experiment scoring only;
+	// attack code cannot observe it).
+	HostID = faas.HostID
+	// InstanceSize is a container resource specification (Table 1).
+	InstanceSize = faas.InstanceSize
+	// Guest is the sandboxed view attack code runs against.
+	Guest = sandbox.Guest
+	// Gen identifies the sandbox generation (Gen1 gVisor, Gen2 VM).
+	Gen = sandbox.Gen
+	// Time is a virtual instant.
+	Time = simtime.Time
+	// Scheduler is the virtual clock.
+	Scheduler = simtime.Scheduler
+)
+
+// Fingerprinting and verification types (the paper's core contribution).
+type (
+	// Sample is one raw Gen 1 measurement (model, TSC, wall time).
+	Sample = fingerprint.Sample
+	// Gen1Fingerprint identifies a host by CPU model + rounded boot time.
+	Gen1Fingerprint = fingerprint.Gen1
+	// Gen2Fingerprint identifies a host by its refined TSC frequency.
+	Gen2Fingerprint = fingerprint.Gen2
+	// FingerprintHistory tracks derived boot times over time (drift).
+	FingerprintHistory = fingerprint.History
+	// Drift is a fitted linear boot-time drift.
+	Drift = fingerprint.Drift
+	// FreqMeasurement is a measured-TSC-frequency estimate (method 2).
+	FreqMeasurement = fingerprint.FreqMeasurement
+	// CovertConfig parameterizes the RNG-contention covert channel.
+	CovertConfig = covert.Config
+	// CovertTester runs CTest invocations and accounts their cost.
+	CovertTester = covert.Tester
+	// VerifyItem is one instance tagged with its fingerprint.
+	VerifyItem = coloc.Item
+	// VerifyOptions tunes the scalable verification.
+	VerifyOptions = coloc.Options
+	// VerifyResult is a verified co-location clustering.
+	VerifyResult = coloc.Result
+)
+
+// Attack-strategy types.
+type (
+	// AttackConfig parameterizes a launching campaign.
+	AttackConfig = attack.Config
+	// CampaignResult is the outcome of a campaign.
+	CampaignResult = attack.CampaignResult
+	// Coverage is an attacker-vs-victim co-location measurement.
+	Coverage = attack.Coverage
+	// FootprintTracker accumulates apparent hosts across launches.
+	FootprintTracker = attack.FootprintTracker
+	// ScaleEstimate is a data-center size estimation (Fig. 12).
+	ScaleEstimate = attack.ScaleEstimate
+)
+
+// Extraction (threat-model step 2) types.
+type (
+	// ExtractionSchedule is a victim's secret-dependent execution plan.
+	ExtractionSchedule = extraction.Schedule
+	// ExtractionTrace is an attacker's recovered activity trace.
+	ExtractionTrace = extraction.Trace
+	// MonitorConfig tunes the contention monitor.
+	MonitorConfig = extraction.MonitorConfig
+	// TargetBook records victim-host fingerprints for re-attacks.
+	TargetBook = attack.TargetBook
+	// Mitigations are the §6 TSC-masking platform defenses.
+	Mitigations = sandbox.Mitigations
+)
+
+// Experiment harness types.
+type (
+	// Experiment describes one runnable paper artifact.
+	Experiment = experiments.Descriptor
+	// ExperimentContext configures an experiment run.
+	ExperimentContext = experiments.Context
+	// ExperimentResult holds an experiment's figures, tables and metrics.
+	ExperimentResult = experiments.Result
+)
+
+// Pricing types.
+type (
+	// Rates are per-resource prices.
+	Rates = pricing.Rates
+)
+
+// Sandbox generations.
+const (
+	Gen1 = sandbox.Gen1
+	Gen2 = sandbox.Gen2
+)
+
+// The three studied Cloud Run regions.
+const (
+	USEast1    = faas.USEast1
+	USCentral1 = faas.USCentral1
+	USWest1    = faas.USWest1
+)
+
+// DefaultPrecision is the paper's default fingerprint rounding (1 s).
+const DefaultPrecision = fingerprint.DefaultPrecision
+
+// Container sizes of Table 1.
+var (
+	SizePico   = faas.SizePico
+	SizeSmall  = faas.SizeSmall
+	SizeMedium = faas.SizeMedium
+	SizeLarge  = faas.SizeLarge
+)
+
+// NewPlatform builds a simulated cloud from a seed and region profiles; it
+// panics on an invalid profile set (use faas.NewPlatform via the internal
+// API for error returns).
+func NewPlatform(seed uint64, profiles ...RegionProfile) *Platform {
+	return faas.MustPlatform(seed, profiles...)
+}
+
+// DefaultProfiles returns the three studied data centers at full scale.
+func DefaultProfiles() []RegionProfile { return faas.DefaultProfiles() }
+
+// USEast1Profile returns the default us-east1 data center profile.
+func USEast1Profile() RegionProfile { return faas.USEast1Profile() }
+
+// USCentral1Profile returns the default us-central1 data center profile.
+func USCentral1Profile() RegionProfile { return faas.USCentral1Profile() }
+
+// USWest1Profile returns the default us-west1 data center profile.
+func USWest1Profile() RegionProfile { return faas.USWest1Profile() }
+
+// CollectGen1 takes one Gen 1 fingerprint measurement inside a guest.
+func CollectGen1(g *Guest) (Sample, error) { return fingerprint.CollectGen1(g) }
+
+// CollectGen2 reads a Gen 2 fingerprint inside a guest VM.
+func CollectGen2(g *Guest) (Gen2Fingerprint, error) { return fingerprint.CollectGen2(g) }
+
+// Duration re-exports time.Duration for API symmetry.
+type Duration = time.Duration
+
+// Gen1FromSample quantizes a sample into a fingerprint.
+func Gen1FromSample(s Sample, precision Duration) Gen1Fingerprint {
+	return fingerprint.Gen1FromSample(s, precision)
+}
+
+// NewCovertTester builds a covert-channel tester with the paper's defaults
+// (RNG channel, 60 rounds, 30 votes, 100 ms per test).
+func NewCovertTester(sched *Scheduler) *CovertTester {
+	return covert.NewTester(sched, covert.DefaultConfig())
+}
+
+// NewCovertTesterWith builds a tester with an explicit configuration (e.g.
+// MemBusCovertConfig, or a Calibrate result).
+func NewCovertTesterWith(sched *Scheduler, cfg CovertConfig) *CovertTester {
+	return covert.NewTester(sched, cfg)
+}
+
+// MemBusCovertConfig returns the memory-bus channel configuration used by
+// earlier co-location studies: workable, but ~30x slower per test.
+func MemBusCovertConfig() CovertConfig { return covert.MemBusConfig() }
+
+// CalibrateCovertChannel measures the background contention rate from a
+// probe instance and derives a vote threshold with comfortable margin.
+func CalibrateCovertChannel(base CovertConfig, probe *Instance, sampleRounds int) (CovertConfig, error) {
+	return covert.Calibrate(base, probe, sampleRounds)
+}
+
+// LoadTargetBook reads a re-attack fingerprint book written by
+// TargetBook.Save.
+func LoadTargetBook(r io.Reader) (*TargetBook, error) { return attack.LoadTargetBook(r) }
+
+// VerifyColocation runs the scalable §4.3 verification.
+func VerifyColocation(tester *CovertTester, items []VerifyItem, opt VerifyOptions) (*VerifyResult, error) {
+	return coloc.Verify(tester, items, opt)
+}
+
+// DefaultVerifyOptions returns the paper's verification parameters (m = 2).
+func DefaultVerifyOptions() VerifyOptions { return coloc.DefaultOptions() }
+
+// DefaultAttackConfig returns the optimized-strategy campaign parameters.
+func DefaultAttackConfig() AttackConfig { return attack.DefaultConfig() }
+
+// RunNaiveAttack executes launching Strategy 1 (cold launches only).
+func RunNaiveAttack(acct *Account, cfg AttackConfig, gen Gen) (*CampaignResult, error) {
+	return attack.RunNaive(acct, cfg, gen)
+}
+
+// RunOptimizedAttack executes launching Strategy 2 (demand priming).
+func RunOptimizedAttack(acct *Account, cfg AttackConfig, gen Gen) (*CampaignResult, error) {
+	return attack.RunOptimized(acct, cfg, gen)
+}
+
+// MeasureCoverage verifies attacker-victim co-location.
+func MeasureCoverage(tester *CovertTester, attacker, victims []*Instance, precision Duration) (Coverage, error) {
+	return attack.MeasureCoverage(tester, attacker, victims, precision)
+}
+
+// MeasureCoverageDetail is MeasureCoverage plus the verified co-located
+// attacker instances (the spies for extraction and re-attack targeting).
+func MeasureCoverageDetail(tester *CovertTester, attacker, victims []*Instance, precision Duration) (Coverage, []*Instance, error) {
+	return attack.MeasureCoverageDetail(tester, attacker, victims, precision)
+}
+
+// NewTargetBook creates a re-attack fingerprint book (§5.2 optimization).
+func NewTargetBook(precision Duration) *TargetBook { return attack.NewTargetBook(precision) }
+
+// MonitorExtraction runs the post-co-location spy loop (threat model step 2).
+func MonitorExtraction(sched *Scheduler, spy *Instance, s ExtractionSchedule, cfg MonitorConfig) (ExtractionTrace, error) {
+	return extraction.Monitor(sched, spy, s, cfg)
+}
+
+// DefaultMonitorConfig returns the extraction monitor defaults.
+func DefaultMonitorConfig() MonitorConfig { return extraction.DefaultMonitorConfig() }
+
+// NewFootprintTracker builds an apparent-host tracker at the given
+// fingerprint precision.
+func NewFootprintTracker(precision Duration) *FootprintTracker {
+	return attack.NewFootprintTracker(precision)
+}
+
+// CloudRunRates returns the published Cloud Run prices.
+func CloudRunRates() Rates { return pricing.CloudRunRates() }
+
+// Experiments lists every reproducible paper artifact in order.
+func Experiments() []Experiment { return experiments.All() }
+
+// RunExperiment regenerates one paper artifact ("fig4" ... "gen2cov").
+func RunExperiment(id string, ctx ExperimentContext) (*ExperimentResult, error) {
+	return experiments.Run(id, ctx)
+}

@@ -1,0 +1,72 @@
+// Eviction sets: the step after co-location. §4.1 notes that cpuid's CPU
+// model and cache-hierarchy information — which both sandbox generations
+// expose — is "essential for many cache-based side-channel attacks". This
+// example reads the cache geometry through a sandbox exactly as an attacker
+// would, then builds a minimal LLC eviction set with the group-testing
+// reduction of Vila et al. (the paper's [61]).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"eaao"
+	"eaao/internal/cache"
+)
+
+func main() {
+	// Land an instance and read the host's cache geometry via cpuid.
+	pl := eaao.NewPlatform(12, eaao.USEast1Profile())
+	insts, err := pl.MustRegion(eaao.USEast1).Account("attacker").
+		DeployService("probe", eaao.ServiceConfig{}).Launch(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	info := insts[0].MustGuest().CPUID()
+	fmt.Printf("cpuid: %s (%s)\n", info.Brand, info.Vendor)
+	fmt.Printf("LLC: %d MiB, line %d B\n", info.L3Bytes>>20, info.CacheLineBytes)
+
+	// Derive an LLC-slice geometry from the reported size, as an attacker
+	// sizing eviction sets would (16-way slices are typical for this class
+	// of parts; per-slice sets = size / (slices × ways × line)).
+	const ways = 16
+	const slices = 8
+	sets := int(info.L3Bytes) / (slices * ways * info.CacheLineBytes)
+	// Hardware set counts are powers of two; round the advertised capacity
+	// down (marketing sizes include ways lost to slicing granularity).
+	for sets&(sets-1) != 0 {
+		sets &= sets - 1
+	}
+	fmt.Printf("assumed geometry per slice: %d sets × %d ways\n\n", sets, ways)
+
+	llc, err := cache.New(sets, ways, info.CacheLineBytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The victim address we want to monitor, and a large candidate pool the
+	// attacker would obtain by mapping memory.
+	victim := uint64(0x7f31_2a40)
+	pool := cache.CongruentAddresses(llc, victim, 3*ways)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		pool = append(pool, uint64(rng.Intn(1<<30))&^uint64(info.CacheLineBytes-1))
+	}
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+
+	set, err := cache.FindEvictionSet(llc, victim, pool)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reduced %d candidates to a minimal eviction set of %d lines:\n", len(pool), len(set))
+	for _, a := range set {
+		fmt.Printf("  %#010x (set %d)\n", a, llc.SetIndex(a))
+	}
+	llc.Flush()
+	fmt.Printf("\nset evicts the victim: %v — prime+probe on this set now observes\n", cache.Evicts(llc, victim, set))
+	fmt.Println("every victim access to that cache set (see examples/colocation-attack")
+	fmt.Println("for the co-location step that makes the shared cache reachable at all)")
+	accesses, misses := llc.Stats()
+	fmt.Printf("(construction cost: %d cache accesses, %d misses)\n", accesses, misses)
+}

@@ -1,0 +1,3 @@
+module eaao
+
+go 1.22

@@ -1,0 +1,143 @@
+// Package cache models a set-associative CPU cache with LRU replacement and
+// implements eviction-set construction — the microarchitectural machinery
+// the paper's fingerprints are a prelude to. §4.1 notes that the CPU model
+// and cache-hierarchy structure exposed through cpuid are "essential for
+// many cache-based side-channel attacks" [45, 50, 51, 61]: an attacker sizes
+// its eviction sets from exactly the geometry this package consumes.
+//
+// The reduction algorithm in FindEvictionSet is the group-testing method of
+// Vila, Köpf, and Morales ("Theory and Practice of Finding Eviction Sets",
+// S&P 2019, the paper's [61]): it shrinks a candidate pool to a minimal
+// eviction set in O(w²·n) accesses instead of the naive O(n²).
+package cache
+
+import (
+	"fmt"
+)
+
+// Cache is a physically-indexed set-associative cache with true-LRU
+// replacement. Addresses are byte addresses; the line and set are derived
+// from the address bits as real hardware does.
+type Cache struct {
+	sets     int
+	ways     int
+	lineSize int
+
+	setShift uint // log2(lineSize)
+	setMask  uint64
+
+	// lines[set][way]; lru[set][way] holds a per-set use clock.
+	lines [][]uint64
+	valid [][]bool
+	lru   [][]uint64
+	tick  uint64
+
+	accesses uint64
+	misses   uint64
+}
+
+// New builds a cache with the given geometry. All three parameters must be
+// powers of two (as on real hardware) and positive.
+func New(sets, ways, lineSize int) (*Cache, error) {
+	for _, v := range []int{sets, ways, lineSize} {
+		if v <= 0 || v&(v-1) != 0 {
+			return nil, fmt.Errorf("cache: geometry %d/%d/%d must be positive powers of two",
+				sets, ways, lineSize)
+		}
+	}
+	c := &Cache{
+		sets:     sets,
+		ways:     ways,
+		lineSize: lineSize,
+		setShift: uint(log2(lineSize)),
+		setMask:  uint64(sets - 1),
+	}
+	c.lines = make([][]uint64, sets)
+	c.valid = make([][]bool, sets)
+	c.lru = make([][]uint64, sets)
+	for s := 0; s < sets; s++ {
+		c.lines[s] = make([]uint64, ways)
+		c.valid[s] = make([]bool, ways)
+		c.lru[s] = make([]uint64, ways)
+	}
+	return c, nil
+}
+
+func log2(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Geometry returns (sets, ways, lineSize).
+func (c *Cache) Geometry() (sets, ways, lineSize int) { return c.sets, c.ways, c.lineSize }
+
+// SetIndex returns the cache set an address maps to.
+func (c *Cache) SetIndex(addr uint64) int {
+	return int((addr >> c.setShift) & c.setMask)
+}
+
+// tag returns the line tag of an address.
+func (c *Cache) tag(addr uint64) uint64 { return addr >> c.setShift }
+
+// Access touches addr, returning whether it hit. Misses fill the line,
+// evicting the set's LRU way.
+func (c *Cache) Access(addr uint64) bool {
+	c.accesses++
+	c.tick++
+	set := c.SetIndex(addr)
+	t := c.tag(addr)
+	// Hit?
+	for w := 0; w < c.ways; w++ {
+		if c.valid[set][w] && c.lines[set][w] == t {
+			c.lru[set][w] = c.tick
+			return true
+		}
+	}
+	// Miss: fill the LRU (or an invalid) way.
+	c.misses++
+	victim := 0
+	oldest := ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		if !c.valid[set][w] {
+			victim = w
+			break
+		}
+		if c.lru[set][w] < oldest {
+			oldest = c.lru[set][w]
+			victim = w
+		}
+	}
+	c.lines[set][victim] = t
+	c.valid[set][victim] = true
+	c.lru[set][victim] = c.tick
+	return false
+}
+
+// Probe reports whether addr is currently cached, without touching state —
+// the idealized timing measurement of a probe step.
+func (c *Cache) Probe(addr uint64) bool {
+	set := c.SetIndex(addr)
+	t := c.tag(addr)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[set][w] && c.lines[set][w] == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates the whole cache.
+func (c *Cache) Flush() {
+	for s := 0; s < c.sets; s++ {
+		for w := 0; w < c.ways; w++ {
+			c.valid[s][w] = false
+		}
+	}
+}
+
+// Stats returns (accesses, misses) since creation.
+func (c *Cache) Stats() (accesses, misses uint64) { return c.accesses, c.misses }

@@ -1,0 +1,240 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, sets, ways, line int) *Cache {
+	t.Helper()
+	c, err := New(sets, ways, line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGeometryValidation(t *testing.T) {
+	bad := [][3]int{{0, 8, 64}, {64, 0, 64}, {64, 8, 0}, {63, 8, 64}, {64, 7, 64}, {64, 8, 65}}
+	for _, g := range bad {
+		if _, err := New(g[0], g[1], g[2]); err == nil {
+			t.Errorf("geometry %v accepted", g)
+		}
+	}
+	if _, err := New(1024, 16, 64); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHitMissBasics(t *testing.T) {
+	c := mustNew(t, 64, 4, 64)
+	if c.Access(0x1000) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0x1000) {
+		t.Error("warm access missed")
+	}
+	// Same line, different byte: still a hit.
+	if !c.Access(0x103F) {
+		t.Error("same-line access missed")
+	}
+	// Next line: miss.
+	if c.Access(0x1040) {
+		t.Error("next-line access hit")
+	}
+	acc, miss := c.Stats()
+	if acc != 4 || miss != 2 {
+		t.Errorf("stats = %d/%d", acc, miss)
+	}
+}
+
+func TestSetIndexing(t *testing.T) {
+	c := mustNew(t, 64, 4, 64)
+	// Addresses a full way-stride apart map to the same set.
+	stride := uint64(64 * 64)
+	base := uint64(0x12345 &^ 0x3F)
+	s0 := c.SetIndex(base)
+	if c.SetIndex(base+stride) != s0 || c.SetIndex(base+7*stride) != s0 {
+		t.Error("congruent addresses map to different sets")
+	}
+	if c.SetIndex(base+64) == s0 {
+		t.Error("adjacent line mapped to same set")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := mustNew(t, 4, 2, 64) // tiny: 2 ways
+	a := uint64(0x000)        // set 0
+	b := a + 4*64             // set 0
+	d := a + 8*64             // set 0
+	c.Access(a)
+	c.Access(b)
+	c.Access(a) // a is now MRU, b is LRU
+	c.Access(d) // evicts b
+	if !c.Probe(a) {
+		t.Error("MRU line evicted")
+	}
+	if c.Probe(b) {
+		t.Error("LRU line survived")
+	}
+	if !c.Probe(d) {
+		t.Error("new line not present")
+	}
+}
+
+func TestProbeDoesNotDisturb(t *testing.T) {
+	c := mustNew(t, 4, 2, 64)
+	a, b, d := uint64(0), uint64(4*64), uint64(8*64)
+	c.Access(a)
+	c.Access(b)
+	// Probing a must NOT refresh its LRU position.
+	c.Probe(a)
+	c.Access(d) // evicts the true LRU, which is a
+	if c.Probe(a) {
+		t.Error("probe refreshed LRU state")
+	}
+	if !c.Probe(b) {
+		t.Error("wrong line evicted")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := mustNew(t, 16, 2, 64)
+	c.Access(0x40)
+	c.Flush()
+	if c.Probe(0x40) {
+		t.Error("line survived flush")
+	}
+}
+
+func TestEvictsExactlyAtAssociativity(t *testing.T) {
+	c := mustNew(t, 64, 8, 64)
+	victim := uint64(0x5 * 64)
+	cong := CongruentAddresses(c, victim, 8)
+	if !Evicts(c, victim, cong) {
+		t.Error("ways congruent lines did not evict")
+	}
+	c.Flush()
+	if Evicts(c, victim, cong[:7]) {
+		t.Error("ways-1 congruent lines evicted")
+	}
+}
+
+func TestFindEvictionSet(t *testing.T) {
+	c := mustNew(t, 128, 8, 64)
+	victim := uint64(0x7C0)
+	// Candidate pool: plenty of congruent addresses buried in noise.
+	pool := CongruentAddresses(c, victim, 24)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		pool = append(pool, uint64(rng.Intn(1<<26))&^0x3F)
+	}
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+
+	set, err := FindEvictionSet(c, victim, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ways, _ := c.Geometry()
+	if len(set) != ways {
+		t.Fatalf("eviction set size %d, want %d (minimal)", len(set), ways)
+	}
+	vs := c.SetIndex(victim)
+	for _, a := range set {
+		if c.SetIndex(a) != vs {
+			t.Errorf("non-congruent address %#x in eviction set", a)
+		}
+	}
+	c.Flush()
+	if !Evicts(c, victim, set) {
+		t.Error("final set does not evict")
+	}
+}
+
+func TestFindEvictionSetInsufficientPool(t *testing.T) {
+	c := mustNew(t, 128, 8, 64)
+	victim := uint64(0x7C0)
+	// Only 5 congruent addresses: cannot build an 8-way set.
+	pool := CongruentAddresses(c, victim, 5)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		pool = append(pool, uint64(rng.Intn(1<<26))&^0x3F)
+	}
+	if _, err := FindEvictionSet(c, victim, pool); err == nil {
+		t.Error("sparse pool produced an eviction set")
+	}
+}
+
+// Property: for random geometries and victims, the reduction always returns
+// a minimal, congruent, evicting set when the pool is sufficient.
+func TestFindEvictionSetProperty(t *testing.T) {
+	f := func(seed int64, victimRaw uint32) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sets := 1 << (4 + rng.Intn(4)) // 16..128
+		ways := 1 << (1 + rng.Intn(3)) // 2..8
+		c, err := New(sets, ways, 64)
+		if err != nil {
+			return false
+		}
+		victim := uint64(victimRaw) &^ 0x3F
+		pool := CongruentAddresses(c, victim, ways*3)
+		for i := 0; i < 50; i++ {
+			pool = append(pool, uint64(rng.Intn(1<<24))&^0x3F)
+		}
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		set, err := FindEvictionSet(c, victim, pool)
+		if err != nil {
+			return false
+		}
+		if len(set) != ways {
+			return false
+		}
+		for _, a := range set {
+			if c.SetIndex(a) != c.SetIndex(victim) {
+				return false
+			}
+		}
+		c.Flush()
+		return Evicts(c, victim, set)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCongruentAddresses(t *testing.T) {
+	c := mustNew(t, 64, 8, 64)
+	base := uint64(0x1240)
+	for _, a := range CongruentAddresses(c, base, 10) {
+		if c.SetIndex(a) != c.SetIndex(base) {
+			t.Fatalf("address %#x not congruent with base %#x", a, base)
+		}
+		if a == base {
+			t.Fatal("base itself returned")
+		}
+	}
+}
+
+func BenchmarkAccess(b *testing.B) {
+	c, _ := New(4096, 16, 64)
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i) * 64)
+	}
+}
+
+func BenchmarkFindEvictionSet(b *testing.B) {
+	c, _ := New(4096, 16, 64)
+	victim := uint64(0x7f312a40)
+	pool := CongruentAddresses(c, victim, 48)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		pool = append(pool, uint64(rng.Intn(1<<30))&^0x3F)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FindEvictionSet(c, victim, pool); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package cache
+
+import "fmt"
+
+// Eviction-set construction (Vila et al. [61]).
+//
+// An eviction set for a victim address is a set of `ways` congruent
+// addresses (mapping to the same cache set): accessing all of them evicts
+// the victim's line. Attackers test candidacy purely behaviorally — load the
+// victim, traverse the candidate set, reload the victim and time it — which
+// Evicts models with Access/Probe.
+
+// Evicts reports whether traversing set S evicts victim from the cache:
+// the prime(victim) → traverse(S) → probe(victim) experiment. The cache is
+// flushed first so each experiment is clean — stale congruent lines from a
+// previous trial would otherwise absorb evictions meant for the victim (a
+// real attacker gets the same effect by repeating measurements until they
+// stabilize).
+func Evicts(c *Cache, victim uint64, s []uint64) bool {
+	c.Flush()
+	c.Access(victim)
+	for _, a := range s {
+		c.Access(a)
+	}
+	return !c.Probe(victim)
+}
+
+// FindEvictionSet reduces candidates to a minimal eviction set for victim
+// using group-testing: repeatedly split the working set into ways+1 groups
+// and discard any group whose removal preserves eviction. The result has
+// exactly `ways` addresses, all congruent with the victim. It fails when the
+// candidate pool does not contain `ways` congruent addresses.
+func FindEvictionSet(c *Cache, victim uint64, candidates []uint64) ([]uint64, error) {
+	_, ways, _ := c.Geometry()
+	work := append([]uint64(nil), candidates...)
+	if !Evicts(c, victim, work) {
+		return nil, fmt.Errorf("cache: candidate pool of %d does not evict the victim", len(candidates))
+	}
+	for len(work) > ways {
+		groups := ways + 1
+		if groups > len(work) {
+			groups = len(work)
+		}
+		// Try removing one group at a time; keep the first removal that
+		// still evicts. The theory guarantees one such group exists while
+		// |work| > ways — provided the partition really has groups parts
+		// (pigeonhole over a minimal ways-subset), so split by index
+		// boundaries rather than a fixed ceil size.
+		removed := false
+		for g := 0; g < groups; g++ {
+			lo := g * len(work) / groups
+			hi := (g + 1) * len(work) / groups
+			if lo == hi {
+				continue
+			}
+			trial := make([]uint64, 0, len(work)-(hi-lo))
+			trial = append(trial, work[:lo]...)
+			trial = append(trial, work[hi:]...)
+			if Evicts(c, victim, trial) {
+				work = trial
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			// Cannot shrink further: the pool lacks enough congruent
+			// addresses beyond what remains.
+			return nil, fmt.Errorf("cache: stuck at %d candidates (> %d ways); pool too sparse", len(work), ways)
+		}
+	}
+	if !Evicts(c, victim, work) {
+		return nil, fmt.Errorf("cache: reduced set of %d no longer evicts", len(work))
+	}
+	return work, nil
+}
+
+// CongruentAddresses generates n addresses mapping to the same cache set as
+// base, spaced one "page" apart (sets × lineSize) — how an attacker derives
+// candidates once cpuid told it the geometry.
+func CongruentAddresses(c *Cache, base uint64, n int) []uint64 {
+	sets, _, lineSize := c.Geometry()
+	stride := uint64(sets * lineSize)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = base + uint64(i+1)*stride
+	}
+	return out
+}

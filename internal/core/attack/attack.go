@@ -1,0 +1,234 @@
+// Package attack implements the paper's instance-launching strategies and
+// their evaluation metrics (§5.2):
+//
+//   - Strategy 1 (naive): launch many instances from cold services. The
+//     instances land on the attacker account's base hosts only, so
+//     co-location with a victim succeeds only when base pools accidentally
+//     overlap.
+//   - Strategy 2 (optimized): prime each attacker service into a
+//     high-demand state by repeatedly launching a large instance count at a
+//     short interval (e.g. 800 instances every 10 minutes, six times). The
+//     load balancer spills the replacement instances onto helper hosts,
+//     spreading the attacker across a large fraction of the data center at
+//     negligible cost (instances idle between launches bill nothing).
+//
+// The package also provides fingerprint-based host-footprint tracking (the
+// "apparent hosts" of §5.1) and victim-coverage measurement via verified
+// co-location.
+package attack
+
+import (
+	"fmt"
+	"time"
+
+	"eaao/internal/core/fingerprint"
+	"eaao/internal/faas"
+	"eaao/internal/sandbox"
+	"eaao/internal/simtime"
+)
+
+// Config parameterizes a launching campaign.
+type Config struct {
+	// Services is how many attacker services participate (paper: 6).
+	Services int
+	// InstancesPerLaunch is the scale-out target per launch (paper: 800).
+	InstancesPerLaunch int
+	// Launches is how many times each service is launched (paper: 6).
+	Launches int
+	// Interval is the pause between consecutive launches (paper: 10 min for
+	// the optimized strategy; ≥ 45 min degenerates to naive/cold behavior).
+	Interval time.Duration
+	// HoldActive is how long each launch's instances stay connected for
+	// measurements before being disconnected; this is what the attack pays
+	// for (paper's overall cost ≈ $23–27 per data center).
+	HoldActive time.Duration
+	// Precision is the Gen 1 fingerprint rounding precision.
+	Precision time.Duration
+}
+
+// DefaultConfig returns the paper's optimized-strategy parameters.
+func DefaultConfig() Config {
+	return Config{
+		Services:           6,
+		InstancesPerLaunch: 800,
+		Launches:           6,
+		Interval:           10 * time.Minute,
+		HoldActive:         40 * time.Second,
+		Precision:          fingerprint.DefaultPrecision,
+	}
+}
+
+// Validate checks the campaign parameters.
+func (c Config) Validate() error {
+	switch {
+	case c.Services <= 0:
+		return fmt.Errorf("attack: Services must be positive")
+	case c.InstancesPerLaunch <= 0:
+		return fmt.Errorf("attack: InstancesPerLaunch must be positive")
+	case c.Launches <= 0:
+		return fmt.Errorf("attack: Launches must be positive")
+	case c.Interval < 0 || c.HoldActive < 0:
+		return fmt.Errorf("attack: negative durations")
+	case c.Precision <= 0:
+		return fmt.Errorf("attack: Precision must be positive")
+	}
+	return nil
+}
+
+// FootprintTracker accumulates the set of apparent hosts (distinct Gen 1
+// fingerprints) seen across launches.
+type FootprintTracker struct {
+	precision time.Duration
+	seen      map[fingerprint.Gen1]bool
+}
+
+// NewFootprintTracker builds a tracker at the given precision.
+func NewFootprintTracker(precision time.Duration) *FootprintTracker {
+	return &FootprintTracker{
+		precision: precision,
+		seen:      make(map[fingerprint.Gen1]bool),
+	}
+}
+
+// Record fingerprints the instances and returns the number of apparent hosts
+// in this batch; the tracker's cumulative set grows accordingly.
+func (ft *FootprintTracker) Record(insts []*faas.Instance) (apparent int, err error) {
+	batch := make(map[fingerprint.Gen1]bool, len(insts))
+	for _, inst := range insts {
+		g, err := inst.Guest()
+		if err != nil {
+			return 0, err
+		}
+		s, err := fingerprint.CollectGen1(g)
+		if err != nil {
+			return 0, err
+		}
+		fp := fingerprint.Gen1FromSample(s, ft.precision)
+		batch[fp] = true
+		ft.seen[fp] = true
+	}
+	return len(batch), nil
+}
+
+// Cumulative returns the size of the cumulative apparent-host footprint.
+func (ft *FootprintTracker) Cumulative() int { return len(ft.seen) }
+
+// Fingerprints returns a copy of the cumulative fingerprint set.
+func (ft *FootprintTracker) Fingerprints() map[fingerprint.Gen1]bool {
+	out := make(map[fingerprint.Gen1]bool, len(ft.seen))
+	for fp := range ft.seen {
+		out[fp] = true
+	}
+	return out
+}
+
+// LaunchRecord describes one launch of a campaign.
+type LaunchRecord struct {
+	Service    string
+	LaunchID   int // 1-based, within the service
+	At         simtime.Time
+	Apparent   int // apparent hosts in this launch
+	Cumulative int // cumulative apparent hosts so far (tracker-wide)
+}
+
+// CampaignResult is the outcome of a launching campaign.
+type CampaignResult struct {
+	Records []LaunchRecord
+	// Live are the instances still connected when the campaign ended (the
+	// last launch of each service is kept).
+	Live []*faas.Instance
+	// Footprint is the campaign's cumulative apparent-host tracker.
+	Footprint *FootprintTracker
+}
+
+// serviceNames returns deterministic service names for a campaign.
+func serviceNames(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s-%02d", prefix, i)
+	}
+	return out
+}
+
+// RunNaive executes Strategy 1: each service is launched once from a cold
+// state and kept connected. With the default config this deploys
+// Services × InstancesPerLaunch instances (the paper's 4800 from six
+// services).
+func RunNaive(acct *faas.Account, cfg Config, gen sandbox.Gen) (*CampaignResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sched := acct.DataCenter().Scheduler()
+	res := &CampaignResult{Footprint: NewFootprintTracker(cfg.Precision)}
+	for _, name := range serviceNames("naive", cfg.Services) {
+		svc := acct.DeployService(name, faas.ServiceConfig{Gen: gen})
+		insts, err := svc.Launch(cfg.InstancesPerLaunch)
+		if err != nil {
+			return nil, err
+		}
+		apparent, err := res.Footprint.Record(insts)
+		if err != nil {
+			return nil, err
+		}
+		res.Records = append(res.Records, LaunchRecord{
+			Service:    name,
+			LaunchID:   1,
+			At:         sched.Now(),
+			Apparent:   apparent,
+			Cumulative: res.Footprint.Cumulative(),
+		})
+		res.Live = append(res.Live, insts...)
+	}
+	return res, nil
+}
+
+// RunOptimized executes Strategy 2: every service is launched Launches times
+// at Interval spacing; after each launch the instances are held active for
+// HoldActive (for measurement) and disconnected — except after the final
+// launch, whose instances stay connected as the attack's resident footprint.
+func RunOptimized(acct *faas.Account, cfg Config, gen sandbox.Gen) (*CampaignResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sched := acct.DataCenter().Scheduler()
+	res := &CampaignResult{Footprint: NewFootprintTracker(cfg.Precision)}
+	names := serviceNames("opt", cfg.Services)
+	services := make([]*faas.Service, len(names))
+	for i, name := range names {
+		services[i] = acct.DeployService(name, faas.ServiceConfig{Gen: gen})
+	}
+	for launch := 1; launch <= cfg.Launches; launch++ {
+		last := launch == cfg.Launches
+		for i, svc := range services {
+			insts, err := svc.Launch(cfg.InstancesPerLaunch)
+			if err != nil {
+				return nil, err
+			}
+			apparent, err := res.Footprint.Record(insts)
+			if err != nil {
+				return nil, err
+			}
+			res.Records = append(res.Records, LaunchRecord{
+				Service:    names[i],
+				LaunchID:   launch,
+				At:         sched.Now(),
+				Apparent:   apparent,
+				Cumulative: res.Footprint.Cumulative(),
+			})
+			if last {
+				res.Live = append(res.Live, insts...)
+			}
+		}
+		sched.Advance(cfg.HoldActive)
+		if !last {
+			for _, svc := range services {
+				svc.Disconnect()
+			}
+			rest := cfg.Interval - cfg.HoldActive
+			if rest > 0 {
+				sched.Advance(rest)
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,292 @@
+package attack
+
+import (
+	"fmt"
+	"time"
+
+	"eaao/internal/core/coloc"
+	"eaao/internal/core/covert"
+	"eaao/internal/core/fingerprint"
+	"eaao/internal/faas"
+)
+
+// Coverage is the outcome of a co-location measurement between an attacker
+// footprint and a set of victim instances.
+type Coverage struct {
+	// VictimTotal is the number of victim instances measured.
+	VictimTotal int
+	// VictimCovered is how many of them share a verified host with at
+	// least one attacker instance.
+	VictimCovered int
+	// AtLeastOne reports whether the attacker co-located with any victim
+	// instance at all (the paper's headline "100% probability" metric).
+	AtLeastOne bool
+	// AttackerHosts is the number of verified distinct hosts holding
+	// attacker instances.
+	AttackerHosts int
+	// SharedHosts is the number of verified hosts holding both attacker
+	// and victim instances.
+	SharedHosts int
+	// Tests is the covert-channel test count the verification consumed.
+	Tests int
+}
+
+// Fraction returns covered/total, or 0 when no victims were measured.
+func (c Coverage) Fraction() float64 {
+	if c.VictimTotal == 0 {
+		return 0
+	}
+	return float64(c.VictimCovered) / float64(c.VictimTotal)
+}
+
+// String renders the coverage for reports.
+func (c Coverage) String() string {
+	return fmt.Sprintf("coverage %.1f%% (%d/%d victims, %d shared hosts)",
+		100*c.Fraction(), c.VictimCovered, c.VictimTotal, c.SharedHosts)
+}
+
+// MeasureCoverage verifies attacker-victim co-location using the scalable
+// methodology of §4.3: both sides are fingerprinted, grouped, and verified
+// with the covert channel; a victim instance counts as covered when its
+// verified cluster also contains an attacker instance.
+//
+// The attacker set may be large (thousands of instances); to keep the
+// covert-channel budget proportional to hosts rather than instances, only
+// one attacker instance per apparent host joins the verification, exactly as
+// an attacker would do in practice.
+func MeasureCoverage(tester *covert.Tester, attacker, victims []*faas.Instance, precision time.Duration) (Coverage, error) {
+	cov, _, err := MeasureCoverageDetail(tester, attacker, victims, precision)
+	return cov, err
+}
+
+// MeasureCoverageDetail is MeasureCoverage, additionally returning the
+// attacker instances verified to share a host with at least one victim —
+// the spies for the extraction step, and the input to a re-attack
+// TargetBook.
+func MeasureCoverageDetail(tester *covert.Tester, attacker, victims []*faas.Instance, precision time.Duration) (Coverage, []*faas.Instance, error) {
+	gen2 := false
+	for _, inst := range attacker {
+		g, err := inst.Guest()
+		if err != nil {
+			continue // terminated; skipped below anyway
+		}
+		if _, err := g.GuestKernelTSCHz(); err == nil {
+			gen2 = true
+		}
+		break
+	}
+
+	// In Gen 1, fingerprints are near-perfect host identifiers, so one
+	// attacker representative per apparent host suffices and keeps the
+	// covert-channel budget proportional to hosts. Gen 2 fingerprints are
+	// coarse (several hosts share one), so deduping would silently drop
+	// attacker hosts; there the full attacker set joins the verification
+	// and the verifier's internal splitting does the work.
+	// Instances recycled away by the platform since the campaign ended are
+	// dropped up front: their connection is gone and they can neither be
+	// fingerprinted nor pressure the covert channel.
+	live := make([]*faas.Instance, 0, len(attacker))
+	for _, inst := range attacker {
+		if inst.State() != faas.StateTerminated {
+			live = append(live, inst)
+		}
+	}
+	reps := live
+	if !gen2 {
+		var err error
+		reps, err = dedupeByFingerprint(live, precision)
+		if err != nil {
+			return Coverage{}, nil, err
+		}
+	}
+
+	// Victims recycled since they were launched are likewise excluded: the
+	// attacker can only co-locate with instances that still exist.
+	liveVictims := make([]*faas.Instance, 0, len(victims))
+	for _, inst := range victims {
+		if inst.State() != faas.StateTerminated {
+			liveVictims = append(liveVictims, inst)
+		}
+	}
+	victims = liveVictims
+
+	items := make([]coloc.Item, 0, len(reps)+len(victims))
+	attackerCount := len(reps)
+	for _, inst := range reps {
+		it, err := makeItem(inst, precision, gen2)
+		if err != nil {
+			return Coverage{}, nil, err
+		}
+		items = append(items, it)
+	}
+	for _, inst := range victims {
+		it, err := makeItem(inst, precision, gen2)
+		if err != nil {
+			return Coverage{}, nil, err
+		}
+		items = append(items, it)
+	}
+
+	opt := coloc.DefaultOptions()
+	opt.AssumeNoFalseNegatives = gen2
+	res, err := coloc.Verify(tester, items, opt)
+	if err != nil {
+		return Coverage{}, nil, err
+	}
+
+	cov := Coverage{VictimTotal: len(victims), Tests: res.Tests}
+	attackerHosts := make(map[int]bool)
+	for i := 0; i < attackerCount; i++ {
+		attackerHosts[res.Labels[i]] = true
+	}
+	cov.AttackerHosts = len(attackerHosts)
+	shared := make(map[int]bool)
+	for v := 0; v < len(victims); v++ {
+		label := res.Labels[attackerCount+v]
+		if attackerHosts[label] {
+			cov.VictimCovered++
+			shared[label] = true
+		}
+	}
+	cov.SharedHosts = len(shared)
+	cov.AtLeastOne = cov.VictimCovered > 0
+
+	// Collect the attacker instances whose verified cluster holds a victim.
+	victimLabels := make(map[int]bool)
+	for v := 0; v < len(victims); v++ {
+		victimLabels[res.Labels[attackerCount+v]] = true
+	}
+	var spies []*faas.Instance
+	for i := 0; i < attackerCount; i++ {
+		if victimLabels[res.Labels[i]] {
+			spies = append(spies, reps[i])
+		}
+	}
+	return cov, spies, nil
+}
+
+// makeItem fingerprints one instance into a verification item.
+func makeItem(inst *faas.Instance, precision time.Duration, gen2 bool) (coloc.Item, error) {
+	g, err := inst.Guest()
+	if err != nil {
+		return coloc.Item{}, err
+	}
+	if gen2 {
+		fp, err := fingerprint.CollectGen2(g)
+		if err != nil {
+			return coloc.Item{}, err
+		}
+		return coloc.Item{Inst: inst, Fingerprint: fp.String(), ConflictKey: fp.Model}, nil
+	}
+	s, err := fingerprint.CollectGen1(g)
+	if err != nil {
+		return coloc.Item{}, err
+	}
+	fp := fingerprint.Gen1FromSample(s, precision)
+	return coloc.Item{Inst: inst, Fingerprint: fp.String(), ConflictKey: fp.Model}, nil
+}
+
+// dedupeByFingerprint keeps the first instance per apparent host (Gen 1
+// fingerprints only).
+func dedupeByFingerprint(insts []*faas.Instance, precision time.Duration) ([]*faas.Instance, error) {
+	seen := make(map[string]bool, len(insts))
+	var out []*faas.Instance
+	for _, inst := range insts {
+		it, err := makeItem(inst, precision, false)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[it.Fingerprint] {
+			seen[it.Fingerprint] = true
+			out = append(out, inst)
+		}
+	}
+	return out, nil
+}
+
+// ScaleEstimate is the result of the data-center scale exploration (Fig. 12).
+type ScaleEstimate struct {
+	// CumulativeByLaunch is the cumulative number of unique apparent hosts
+	// after each launch, in launch order.
+	CumulativeByLaunch []int
+	// UniqueHosts is the number of distinct apparent hosts ever observed —
+	// the paper's estimate, a lower bound on the true fleet size.
+	UniqueHosts int
+	// ChapmanEstimate is a capture-recapture point estimate of the
+	// reachable fleet size, treating the first and second halves of the
+	// exploration as two capture occasions. Zero when the recapture overlap
+	// is empty. It refines the lower bound the way ecologists size animal
+	// populations — and tends to sit between UniqueHosts and the truth.
+	ChapmanEstimate float64
+}
+
+// chapman computes the Chapman estimator N̂ = (n1+1)(n2+1)/(m+1) − 1 for two
+// capture occasions with n1 and n2 captures and m recaptures.
+func chapman(n1, n2, m int) float64 {
+	return float64(n1+1)*float64(n2+1)/float64(m+1) - 1
+}
+
+// EstimateScale explores a data center's size with services from several
+// accounts, all launched with the optimized strategy; the union of apparent
+// hosts across launches estimates the fleet size (a lower bound on truth).
+func EstimateScale(dc *faas.DataCenter, accounts []string, servicesPerAccount int, cfg Config) (*ScaleEstimate, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if servicesPerAccount <= 0 || len(accounts) == 0 {
+		return nil, fmt.Errorf("attack: scale exploration needs accounts and services")
+	}
+	tracker := NewFootprintTracker(cfg.Precision)
+	firstHalf := NewFootprintTracker(cfg.Precision)
+	secondHalf := NewFootprintTracker(cfg.Precision)
+	est := &ScaleEstimate{}
+	sched := dc.Scheduler()
+
+	type deployed struct {
+		svc *faas.Service
+	}
+	var svcs []deployed
+	for _, acct := range accounts {
+		a := dc.Account(acct)
+		for s := 0; s < servicesPerAccount; s++ {
+			svcs = append(svcs, deployed{
+				svc: a.DeployService(fmt.Sprintf("explore-%02d", s), faas.ServiceConfig{}),
+			})
+		}
+	}
+	for launch := 0; launch < cfg.Launches; launch++ {
+		half := firstHalf
+		if launch >= cfg.Launches/2 {
+			half = secondHalf
+		}
+		for _, d := range svcs {
+			insts, err := d.svc.Launch(cfg.InstancesPerLaunch)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := tracker.Record(insts); err != nil {
+				return nil, err
+			}
+			if _, err := half.Record(insts); err != nil {
+				return nil, err
+			}
+			est.CumulativeByLaunch = append(est.CumulativeByLaunch, tracker.Cumulative())
+			d.svc.Disconnect()
+		}
+		sched.Advance(cfg.Interval)
+	}
+	est.UniqueHosts = tracker.Cumulative()
+
+	// Capture-recapture across the two halves of the exploration.
+	f1 := firstHalf.Fingerprints()
+	recaptured := 0
+	for fp := range secondHalf.Fingerprints() {
+		if f1[fp] {
+			recaptured++
+		}
+	}
+	if recaptured > 0 {
+		est.ChapmanEstimate = chapman(firstHalf.Cumulative(), secondHalf.Cumulative(), recaptured)
+	}
+	return est, nil
+}

@@ -1,0 +1,158 @@
+// Package covert implements the n-way covert-channel co-location test
+// primitive CTest of §4.3, built on contention of the host's hardware random
+// number generator (RNG).
+//
+// All n instances under test simultaneously hammer the RNG and measure the
+// contention level they observe. Because the RNG is rarely used by anyone
+// else (<1% background activity), an instance observing contention of at
+// least m units must share its host with at least m−1 other participants.
+// One test therefore classifies all n instances at once:
+//
+//	CTest(i1..in) → {b1..bn},  bi = "instance i observed ≥ m units
+//	                            in at least half of the rounds"
+//
+// With m = 2 and at most 2m−1 = 3 instances per test, a positive outcome is
+// unambiguous: all positive instances share one host. The coloc package
+// builds the scalable verification methodology on top of this primitive.
+package covert
+
+import (
+	"fmt"
+	"time"
+
+	"eaao/internal/faas"
+	"eaao/internal/simtime"
+)
+
+// Config parameterizes the covert-channel tests.
+type Config struct {
+	// Resource is the shared hardware resource pressured by the test; the
+	// zero value is the paper's low-noise RNG channel.
+	Resource faas.Resource
+	// Rounds is the number of contention measurements per test.
+	Rounds int
+	// VoteThreshold is the number of rounds that must observe contention
+	// for the instance to test positive (the paper requires 30 of 60).
+	VoteThreshold int
+	// TestDuration is the wall-clock cost of one CTest (the paper assumes
+	// ~100 ms per test when costing the conventional approach).
+	TestDuration time.Duration
+}
+
+// DefaultConfig returns the paper's parameters: the RNG channel, 60 rounds,
+// 30 votes, 100 ms per test.
+func DefaultConfig() Config {
+	return Config{Rounds: 60, VoteThreshold: 30, TestDuration: 100 * time.Millisecond}
+}
+
+// MemBusConfig returns a configuration for the memory-bus channel of the
+// earlier co-location studies [62, 59]: the frequent background traffic
+// demands a much higher vote threshold, and a test takes seconds instead of
+// 100 ms (Varadarajan et al. report several seconds per pairwise test).
+func MemBusConfig() Config {
+	return Config{
+		Resource:      faas.ResourceMemBus,
+		Rounds:        60,
+		VoteThreshold: 48,
+		TestDuration:  3 * time.Second,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Rounds <= 0:
+		return fmt.Errorf("covert: Rounds must be positive")
+	case c.VoteThreshold <= 0 || c.VoteThreshold > c.Rounds:
+		return fmt.Errorf("covert: VoteThreshold must be in [1, Rounds]")
+	case c.TestDuration <= 0:
+		return fmt.Errorf("covert: TestDuration must be positive")
+	}
+	return nil
+}
+
+// Stats accumulates the cost of the covert-channel activity: how many tests
+// ran and how much serialized wall-clock time they consumed. The coloc
+// package uses these to reproduce the §4.3 cost comparison.
+type Stats struct {
+	Tests        int
+	PairsTested  int
+	InstanceTime time.Duration // Σ over tests of (participants × duration)
+}
+
+// Tester executes CTest invocations against the simulated platform,
+// advancing the virtual clock for each test and accounting costs.
+type Tester struct {
+	cfg   Config
+	sched *simtime.Scheduler
+	stats Stats
+}
+
+// NewTester builds a Tester. It panics on an invalid config, which is always
+// a programming error at this layer.
+func NewTester(sched *simtime.Scheduler, cfg Config) *Tester {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Tester{cfg: cfg, sched: sched}
+}
+
+// Config returns the tester's configuration.
+func (t *Tester) Config() Config { return t.cfg }
+
+// Stats returns the accumulated cost counters.
+func (t *Tester) Stats() Stats { return t.stats }
+
+// ResetStats zeroes the cost counters.
+func (t *Tester) ResetStats() { t.stats = Stats{} }
+
+// CTest runs one n-way covert-channel test with contention threshold m.
+// Instance i tests positive when it observed at least m units of contention
+// in at least VoteThreshold rounds. The virtual clock advances by
+// TestDuration. m must be at least 2: an instance always observes its own
+// unit, so m = 1 would make every test positive.
+func (t *Tester) CTest(instances []*faas.Instance, m int) ([]bool, error) {
+	if m < 2 {
+		return nil, fmt.Errorf("covert: contention threshold m=%d, need m >= 2", m)
+	}
+	if len(instances) == 0 {
+		return nil, fmt.Errorf("covert: CTest of zero instances")
+	}
+	votes := make([]int, len(instances))
+	for r := 0; r < t.cfg.Rounds; r++ {
+		obs, err := faas.ContentionRoundOn(t.cfg.Resource, instances)
+		if err != nil {
+			return nil, err
+		}
+		for i, units := range obs {
+			if units >= m {
+				votes[i]++
+			}
+		}
+	}
+	t.sched.Advance(t.cfg.TestDuration)
+	t.stats.Tests++
+	t.stats.PairsTested += len(instances) * (len(instances) - 1) / 2
+	t.stats.InstanceTime += time.Duration(len(instances)) * t.cfg.TestDuration
+
+	out := make([]bool, len(instances))
+	for i, v := range votes {
+		out[i] = v >= t.cfg.VoteThreshold
+	}
+	return out, nil
+}
+
+// PairTest is the conventional pairwise covert-channel test: it reports
+// whether the two instances are co-located.
+func (t *Tester) PairTest(a, b *faas.Instance) (bool, error) {
+	res, err := t.CTest([]*faas.Instance{a, b}, 2)
+	if err != nil {
+		return false, err
+	}
+	return res[0] && res[1], nil
+}
+
+// MaxGroupSize returns the largest group CTest can classify unambiguously at
+// threshold m: with 2m−1 or fewer instances, any positive set of size ≥ m
+// must share a single host (§4.3).
+func MaxGroupSize(m int) int { return 2*m - 1 }

@@ -1,0 +1,96 @@
+package extraction
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"eaao/internal/faas"
+	"eaao/internal/simtime"
+)
+
+// Cache-based extraction: the prime+probe variant of the monitor, built on
+// LLC set-group contention instead of the RNG. Caches carry far more
+// background noise (~5% per probe vs <1%), so slot classification uses the
+// same voting discipline, and the attacker must first *locate* the victim's
+// cache footprint by scanning set groups while the victim runs.
+
+// ScanFootprint locates the LLC set groups a co-resident victim touches: it
+// probes every group `rounds` times while the victim is (presumed) executing
+// and returns the groups whose eviction rate clears the background by a wide
+// margin. The scan advances the virtual clock by rounds × CacheSetGroups
+// probe slots of 1 ms each.
+func ScanFootprint(sched *simtime.Scheduler, spy *faas.Instance, rounds int) ([]int, error) {
+	if rounds <= 0 {
+		return nil, fmt.Errorf("extraction: scan needs rounds")
+	}
+	hits := make([]int, faas.CacheSetGroups)
+	for r := 0; r < rounds; r++ {
+		for g := 0; g < faas.CacheSetGroups; g++ {
+			evicted, err := faas.ProbeCacheGroup(spy, g)
+			if err != nil {
+				return nil, err
+			}
+			if evicted {
+				hits[g]++
+			}
+			sched.Advance(time.Millisecond)
+		}
+	}
+	// Background sits near 5%; a touched group evicts every probe. Half the
+	// rounds is an unambiguous separator.
+	var out []int
+	for g, h := range hits {
+		if h*2 > rounds {
+			out = append(out, g)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// MonitorCache is the cache-channel counterpart of Monitor: it watches one
+// of the victim's set groups (found by ScanFootprint) across the schedule's
+// slots and reconstructs the activity bits. The higher background rate is
+// handled by a stricter per-slot vote than the RNG monitor needs.
+func MonitorCache(sched *simtime.Scheduler, spy *faas.Instance, group int, s Schedule, cfg MonitorConfig) (Trace, error) {
+	if cfg.SamplesPerSlot <= 0 || cfg.VoteThreshold <= 0 || cfg.VoteThreshold > cfg.SamplesPerSlot {
+		return Trace{}, fmt.Errorf("extraction: invalid monitor config %+v", cfg)
+	}
+	if len(s.Bits) == 0 {
+		return Trace{}, fmt.Errorf("extraction: empty schedule")
+	}
+	if sched.Now().After(s.Start) {
+		return Trace{}, fmt.Errorf("extraction: schedule started in the past")
+	}
+	sched.RunUntil(s.Start)
+
+	step := s.SlotLength / time.Duration(cfg.SamplesPerSlot+1)
+	trace := Trace{Bits: make([]bool, len(s.Bits))}
+	for slot := range s.Bits {
+		votes := 0
+		for probe := 0; probe < cfg.SamplesPerSlot; probe++ {
+			sched.Advance(step)
+			evicted, err := faas.ProbeCacheGroup(spy, group)
+			if err != nil {
+				return Trace{}, err
+			}
+			if evicted {
+				votes++
+			}
+			trace.Samples++
+		}
+		trace.Bits[slot] = votes >= cfg.VoteThreshold
+		next := s.Start.Add(time.Duration(slot+1) * s.SlotLength)
+		if next.After(sched.Now()) {
+			sched.RunUntil(next)
+		}
+	}
+	return trace, nil
+}
+
+// CacheMonitorConfig returns voting parameters suited to the cache channel's
+// ~5% background: 8 probes per slot, 5 positives to call a 1.
+func CacheMonitorConfig() MonitorConfig {
+	return MonitorConfig{SamplesPerSlot: 8, VoteThreshold: 5}
+}

@@ -1,0 +1,115 @@
+package extraction
+
+import (
+	"testing"
+	"time"
+
+	"eaao/internal/faas"
+	"eaao/internal/simtime"
+)
+
+func TestScanFootprintFindsVictimGroups(t *testing.T) {
+	pl, dc := testWorld(t, 10)
+	victim, spy, remote := colocatedPair(t, dc)
+
+	groups := []int{3, 17, 42}
+	if err := victim.SetCacheFootprint(groups); err != nil {
+		t.Fatal(err)
+	}
+	// Victim continuously executing during the scan.
+	victim.SetWorkload(func(simtime.Time) bool { return true })
+
+	found, err := ScanFootprint(pl.Scheduler(), spy, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != len(groups) {
+		t.Fatalf("found groups %v, want %v", found, groups)
+	}
+	for i := range groups {
+		if found[i] != groups[i] {
+			t.Fatalf("found groups %v, want %v", found, groups)
+		}
+	}
+
+	// A remote spy sees only background noise — no group clears half the
+	// rounds.
+	foundRemote, err := ScanFootprint(pl.Scheduler(), remote, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(foundRemote) != 0 {
+		t.Errorf("remote spy 'found' groups %v", foundRemote)
+	}
+}
+
+func TestMonitorCacheRecoversSecret(t *testing.T) {
+	pl, dc := testWorld(t, 11)
+	victim, spy, _ := colocatedPair(t, dc)
+	if err := victim.SetCacheFootprint([]int{9}); err != nil {
+		t.Fatal(err)
+	}
+
+	bits := secretBits()
+	sched := Schedule{
+		Start:      pl.Now().Add(time.Second),
+		SlotLength: 100 * time.Millisecond,
+		Bits:       bits,
+	}
+	victim.SetWorkload(sched.Activity())
+
+	trace, err := MonitorCache(pl.Scheduler(), spy, 9, sched, CacheMonitorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := trace.BitAccuracy(bits); acc < 0.95 {
+		t.Errorf("cache-channel recovery accuracy = %v", acc)
+	}
+}
+
+func TestMonitorCacheWrongGroupReadsNoise(t *testing.T) {
+	pl, dc := testWorld(t, 12)
+	victim, spy, _ := colocatedPair(t, dc)
+	if err := victim.SetCacheFootprint([]int{9}); err != nil {
+		t.Fatal(err)
+	}
+	bits := secretBits()
+	sched := Schedule{
+		Start:      pl.Now().Add(time.Second),
+		SlotLength: 100 * time.Millisecond,
+		Bits:       bits,
+	}
+	victim.SetWorkload(sched.Activity())
+	// Monitoring a group outside the victim's footprint: every slot should
+	// vote below threshold.
+	trace, err := MonitorCache(pl.Scheduler(), spy, 10, sched, CacheMonitorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range trace.Bits {
+		if b {
+			t.Errorf("slot %d read 1 on an untouched group", i)
+		}
+	}
+}
+
+func TestCachePrimitiveValidation(t *testing.T) {
+	pl, dc := testWorld(t, 13)
+	_, spy, _ := colocatedPair(t, dc)
+	if _, err := faas.ProbeCacheGroup(spy, -1); err == nil {
+		t.Error("negative group accepted")
+	}
+	if _, err := faas.ProbeCacheGroup(spy, faas.CacheSetGroups); err == nil {
+		t.Error("out-of-range group accepted")
+	}
+	if err := spy.SetCacheFootprint([]int{faas.CacheSetGroups}); err == nil {
+		t.Error("out-of-range footprint accepted")
+	}
+	if _, err := ScanFootprint(pl.Scheduler(), spy, 0); err == nil {
+		t.Error("zero-round scan accepted")
+	}
+	s := Schedule{Start: pl.Now().Add(time.Second), SlotLength: time.Second, Bits: []bool{true}}
+	if _, err := MonitorCache(pl.Scheduler(), spy, 0, s, MonitorConfig{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

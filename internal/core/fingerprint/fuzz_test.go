@@ -1,0 +1,46 @@
+package fingerprint
+
+import "testing"
+
+// FuzzGen1UnmarshalText checks the fingerprint parser never panics and that
+// everything it accepts round-trips.
+func FuzzGen1UnmarshalText(f *testing.F) {
+	f.Add("gen1|1000000000|12345|Intel(R) Xeon(R) CPU @ 2.00GHz")
+	f.Add("gen1|1|0|")
+	f.Add("gen2|2000001|M")
+	f.Add("gen1|||")
+	f.Fuzz(func(t *testing.T, in string) {
+		var fp Gen1
+		if err := fp.UnmarshalText([]byte(in)); err != nil {
+			return
+		}
+		text, err := fp.MarshalText()
+		if err != nil {
+			t.Fatalf("accepted %q but cannot re-marshal: %v", in, err)
+		}
+		var back Gen1
+		if err := back.UnmarshalText(text); err != nil || back != fp {
+			t.Errorf("round trip failed for %q: %v", in, err)
+		}
+	})
+}
+
+// FuzzGen2UnmarshalText does the same for frequency fingerprints.
+func FuzzGen2UnmarshalText(f *testing.F) {
+	f.Add("gen2|2000001|Intel(R) Xeon(R) CPU @ 2.00GHz")
+	f.Add("gen2|-1|x")
+	f.Fuzz(func(t *testing.T, in string) {
+		var fp Gen2
+		if err := fp.UnmarshalText([]byte(in)); err != nil {
+			return
+		}
+		text, err := fp.MarshalText()
+		if err != nil {
+			t.Fatalf("accepted %q but cannot re-marshal: %v", in, err)
+		}
+		var back Gen2
+		if err := back.UnmarshalText(text); err != nil || back != fp {
+			t.Errorf("round trip failed for %q", in)
+		}
+	})
+}

@@ -1,0 +1,38 @@
+package fingerprint
+
+import (
+	"fmt"
+
+	"eaao/internal/sandbox"
+)
+
+// Gen2 is a Gen 2 host fingerprint: the CPU model plus the kernel-refined
+// actual host TSC frequency at 1 kHz precision (§4.5). The refinement
+// happens once per host boot, so co-located instances always read the same
+// value: Gen 2 fingerprints have no false negatives. Their precision is low
+// (several hosts share a frequency), which the verification layer compensates
+// for.
+type Gen2 struct {
+	Model string
+	// FreqKHz is the refined host TSC frequency in kHz (the kernel's full
+	// precision).
+	FreqKHz int64
+}
+
+// CollectGen2 reads a Gen 2 fingerprint from inside a guest VM. It fails in
+// Gen 1, where the refined host frequency is unreachable.
+func CollectGen2(g *sandbox.Guest) (Gen2, error) {
+	hz, err := g.GuestKernelTSCHz()
+	if err != nil {
+		return Gen2{}, err
+	}
+	return Gen2{
+		Model:   g.CPUModelName(),
+		FreqKHz: int64(hz / 1000),
+	}, nil
+}
+
+// String renders the fingerprint.
+func (f Gen2) String() string {
+	return fmt.Sprintf("gen2{%s, tsc=%d kHz}", f.Model, f.FreqKHz)
+}

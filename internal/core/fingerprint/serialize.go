@@ -1,0 +1,67 @@
+package fingerprint
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Textual serialization of fingerprints, for persisting host books across
+// attack sessions (the §5.2 re-attack optimization spans days). The format
+// is a single line:
+//
+//	gen1|<precision-ns>|<boot-bucket>|<model>
+//	gen2|<freq-khz>|<model>
+//
+// The model comes last because brand strings contain arbitrary characters
+// (including '|' in principle is excluded by x86 brand strings, but keeping
+// it last makes the parse unambiguous regardless).
+
+// MarshalText implements encoding.TextMarshaler.
+func (f Gen1) MarshalText() ([]byte, error) {
+	if f.PrecisionNs <= 0 {
+		return nil, fmt.Errorf("fingerprint: cannot marshal Gen1 with precision %d", f.PrecisionNs)
+	}
+	return []byte(fmt.Sprintf("gen1|%d|%d|%s", f.PrecisionNs, f.BootBucket, f.Model)), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (f *Gen1) UnmarshalText(b []byte) error {
+	parts := strings.SplitN(string(b), "|", 4)
+	if len(parts) != 4 || parts[0] != "gen1" {
+		return fmt.Errorf("fingerprint: malformed Gen1 text %q", b)
+	}
+	prec, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil || prec <= 0 {
+		return fmt.Errorf("fingerprint: bad precision in %q", b)
+	}
+	bucket, err := strconv.ParseInt(parts[2], 10, 64)
+	if err != nil {
+		return fmt.Errorf("fingerprint: bad bucket in %q", b)
+	}
+	*f = Gen1{Model: parts[3], BootBucket: bucket, PrecisionNs: prec}
+	return nil
+}
+
+// Precision returns p_boot as a duration.
+func (f Gen1) Precision() time.Duration { return time.Duration(f.PrecisionNs) }
+
+// MarshalText implements encoding.TextMarshaler.
+func (f Gen2) MarshalText() ([]byte, error) {
+	return []byte(fmt.Sprintf("gen2|%d|%s", f.FreqKHz, f.Model)), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (f *Gen2) UnmarshalText(b []byte) error {
+	parts := strings.SplitN(string(b), "|", 3)
+	if len(parts) != 3 || parts[0] != "gen2" {
+		return fmt.Errorf("fingerprint: malformed Gen2 text %q", b)
+	}
+	khz, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil {
+		return fmt.Errorf("fingerprint: bad frequency in %q", b)
+	}
+	*f = Gen2{Model: parts[2], FreqKHz: khz}
+	return nil
+}

@@ -1,0 +1,88 @@
+package fingerprint
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestGen1TextRoundTrip(t *testing.T) {
+	f := func(bucket int64, precRaw uint32, model string) bool {
+		prec := int64(precRaw%1e9) + 1
+		orig := Gen1{Model: model, BootBucket: bucket, PrecisionNs: prec}
+		text, err := orig.MarshalText()
+		if err != nil {
+			return false
+		}
+		var back Gen1
+		if err := back.UnmarshalText(text); err != nil {
+			return false
+		}
+		return back == orig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGen1TextRoundTripRealModel(t *testing.T) {
+	orig := Gen1FromBootTime("Intel(R) Xeon(R) CPU @ 2.00GHz", 123456.789, time.Second)
+	text, err := orig.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Gen1
+	if err := back.UnmarshalText(text); err != nil {
+		t.Fatal(err)
+	}
+	if back != orig {
+		t.Errorf("round trip: %+v != %+v", back, orig)
+	}
+	if back.Precision() != time.Second {
+		t.Errorf("Precision() = %v", back.Precision())
+	}
+}
+
+func TestGen1MarshalRejectsZeroPrecision(t *testing.T) {
+	if _, err := (Gen1{Model: "M"}).MarshalText(); err == nil {
+		t.Error("zero-precision fingerprint marshaled")
+	}
+}
+
+func TestGen1UnmarshalErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "gen2|100|M", "gen1|x|5|M", "gen1|0|5|M", "gen1|100|x|M", "gen1|100|5",
+	} {
+		var fp Gen1
+		if err := fp.UnmarshalText([]byte(bad)); err == nil {
+			t.Errorf("%q unmarshaled", bad)
+		}
+	}
+}
+
+func TestGen2TextRoundTrip(t *testing.T) {
+	f := func(khz int64, model string) bool {
+		orig := Gen2{Model: model, FreqKHz: khz}
+		text, err := orig.MarshalText()
+		if err != nil {
+			return false
+		}
+		var back Gen2
+		if err := back.UnmarshalText(text); err != nil {
+			return false
+		}
+		return back == orig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGen2UnmarshalErrors(t *testing.T) {
+	for _, bad := range []string{"", "gen1|1|2|M", "gen2|x|M", "gen2|5"} {
+		var fp Gen2
+		if err := fp.UnmarshalText([]byte(bad)); err == nil {
+			t.Errorf("%q unmarshaled", bad)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package cpu
+
+import "testing"
+
+// FuzzParseBaseFrequency checks the brand-string parser never panics and
+// only accepts positive frequencies.
+func FuzzParseBaseFrequency(f *testing.F) {
+	for _, m := range Catalog {
+		f.Add(m.Name)
+	}
+	f.Add("CPU @ GHz")
+	f.Add("@")
+	f.Add("")
+	f.Add("CPU @ 1e309GHz")
+	f.Add("CPU @ -0GHz")
+	f.Fuzz(func(t *testing.T, name string) {
+		hz, err := ParseBaseFrequency(name)
+		if err == nil && hz <= 0 {
+			t.Errorf("accepted non-positive frequency %v from %q", hz, name)
+		}
+	})
+}

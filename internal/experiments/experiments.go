@@ -1,0 +1,236 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§4.4, §4.5, §5.1, §5.2) against the simulated platform. Each
+// experiment is registered under the paper artifact it regenerates ("fig4",
+// "fig11a", "verifycost", ...) and returns structured figures, tables, and
+// headline metrics; the eaao CLI prints them and the benchmark harness
+// re-runs them per table/figure.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"eaao/internal/faas"
+	"eaao/internal/report"
+)
+
+// Context carries the run configuration shared by all experiments.
+type Context struct {
+	// Seed is the root of all randomness; equal seeds reproduce runs
+	// exactly.
+	Seed uint64
+	// Quick scales the study down (~4× smaller fleet, 200-instance
+	// launches, single repetition) for tests and fast iteration. The full
+	// scale matches the paper: 800-instance launches, 3 repetitions.
+	Quick bool
+}
+
+// Result is the outcome of one experiment.
+type Result struct {
+	ID       string
+	Title    string
+	PaperRef string
+	Figures  []*report.Figure
+	Tables   []*report.Table
+	// Metrics are named headline numbers (coverage fractions, FMI values,
+	// test counts, dollar costs) used by EXPERIMENTS.md and the benches.
+	Metrics map[string]float64
+	Notes   []string
+}
+
+// newResult initializes a Result for a descriptor.
+func newResult(d Descriptor) *Result {
+	return &Result{
+		ID:       d.ID,
+		Title:    d.Title,
+		PaperRef: d.PaperRef,
+		Metrics:  make(map[string]float64),
+	}
+}
+
+// note appends a formatted note line.
+func (r *Result) note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the whole result for the CLI.
+func (r *Result) String() string {
+	out := fmt.Sprintf("=== %s — %s (%s) ===\n", r.ID, r.Title, r.PaperRef)
+	for _, f := range r.Figures {
+		out += f.String() + "\n"
+	}
+	for _, t := range r.Tables {
+		out += t.String() + "\n"
+	}
+	if len(r.Metrics) > 0 {
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		out += "metrics:\n"
+		for _, k := range keys {
+			out += fmt.Sprintf("  %-40s %.6g\n", k, r.Metrics[k])
+		}
+	}
+	for _, n := range r.Notes {
+		out += "note: " + n + "\n"
+	}
+	return out
+}
+
+// Descriptor names one runnable experiment.
+type Descriptor struct {
+	ID       string
+	Title    string
+	PaperRef string
+	Run      func(Context) (*Result, error)
+}
+
+// registry holds all experiments in presentation order. It is populated in
+// init to avoid a static initialization cycle (experiment bodies call ByID).
+var registry []Descriptor
+
+func init() {
+	registry = []Descriptor{
+		{ID: "fig4", Title: "Gen 1 fingerprint accuracy vs rounding precision", PaperRef: "Fig. 4, §4.4.1", Run: runFig4},
+		{ID: "fig5", Title: "Fingerprint expiration time CDF", PaperRef: "Fig. 5, §4.4.2", Run: runFig5},
+		{ID: "fig6", Title: "Idle instance termination timeline", PaperRef: "Fig. 6, §5.1 Exp. 1", Run: runFig6},
+		{ID: "fig7", Title: "Base hosts across cold launches", PaperRef: "Fig. 7, §5.1 Exp. 2", Run: runFig7},
+		{ID: "fig8", Title: "Base hosts across accounts", PaperRef: "Fig. 8, §5.1 Exp. 3", Run: runFig8},
+		{ID: "fig9", Title: "Helper hosts under short launch intervals", PaperRef: "Fig. 9, §5.1 Exp. 4", Run: runFig9},
+		{ID: "fig10", Title: "Helper-host overlap across services", PaperRef: "Fig. 10, §5.1 Exp. 4", Run: runFig10},
+		{ID: "fig11a", Title: "Victim coverage vs victim instance count", PaperRef: "Fig. 11a, §5.2", Run: runFig11a},
+		{ID: "fig11b", Title: "Victim coverage vs victim instance size", PaperRef: "Fig. 11b, §5.2 + Table 1", Run: runFig11b},
+		{ID: "fig12", Title: "Data-center scale estimation", PaperRef: "Fig. 12, §5.2", Run: runFig12},
+		{ID: "table1", Title: "Container size catalog", PaperRef: "Table 1, §5.2", Run: runTable1},
+		{ID: "freq", Title: "Measured TSC frequency stability", PaperRef: "§4.2 method 2", Run: runFreq},
+		{ID: "verifycost", Title: "Verification cost: scalable vs pairwise vs SIE", PaperRef: "§4.3", Run: runVerifyCost},
+		{ID: "gen2", Title: "Gen 2 fingerprint accuracy", PaperRef: "§4.5", Run: runGen2Accuracy},
+		{ID: "naive", Title: "Naive launching strategy coverage", PaperRef: "§5.2 Strategy 1", Run: runNaive},
+		{ID: "cost", Title: "Optimized attack financial cost", PaperRef: "§5.2", Run: runAttackCost},
+		{ID: "gen2cov", Title: "Victim coverage in the Gen 2 environment", PaperRef: "§5.2", Run: runGen2Coverage},
+		{ID: "mitigation", Title: "TSC mitigations: attack impact and timer overhead", PaperRef: "§6", Run: runMitigation},
+		{ID: "extraction", Title: "Post-co-location secret extraction demonstrator", PaperRef: "§3 threat model, step 2", Run: runExtraction},
+		{ID: "reattack", Title: "Fingerprint-guided re-attack optimization", PaperRef: "§5.2 optimizations", Run: runReattack},
+		{ID: "ablations", Title: "Design-choice ablation sweeps", PaperRef: "DESIGN.md §4", Run: runAblations},
+	}
+}
+
+// All returns every experiment descriptor in presentation order.
+func All() []Descriptor { return append([]Descriptor(nil), registry...) }
+
+// ByID looks an experiment up.
+func ByID(id string) (Descriptor, bool) {
+	for _, d := range registry {
+		if d.ID == id {
+			return d, true
+		}
+	}
+	return Descriptor{}, false
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, ctx Context) (*Result, error) {
+	d, ok := ByID(id)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	return d.Run(ctx)
+}
+
+// --- scale helpers -------------------------------------------------------
+
+// profiles returns the region set for this context, scaled down in Quick
+// mode while preserving every ratio that matters (instances per host, base
+// pool vs group size, helper pool vs fleet).
+func (c Context) profiles() []faas.RegionProfile {
+	if !c.Quick {
+		return faas.DefaultProfiles()
+	}
+	east := faas.USEast1Profile()
+	east.NumHosts = 125
+	east.PlacementGroups = 5
+	east.BasePoolSize = 24
+	east.AccountHelperPool = 65
+	east.ServiceHelperSize = 48
+	east.ServiceHelperFresh = 4
+
+	central := faas.USCentral1Profile()
+	central.NumHosts = 450
+	central.PlacementGroups = 15
+	central.BasePoolSize = 28
+	central.AccountHelperPool = 188
+	central.ServiceHelperSize = 105
+	central.ServiceHelperFresh = 18
+
+	west := faas.USWest1Profile()
+	west.NumHosts = 52
+	west.PlacementGroups = 2
+	west.BasePoolSize = 23
+	west.AccountHelperPool = 32
+	west.ServiceHelperSize = 26
+	west.ServiceHelperFresh = 2
+
+	return []faas.RegionProfile{east, central, west}
+}
+
+// platform builds a fresh simulated cloud for this context.
+func (c Context) platform() *faas.Platform {
+	return faas.MustPlatform(c.Seed, c.profiles()...)
+}
+
+// launchSize is the per-launch instance count (paper: 800).
+func (c Context) launchSize() int {
+	if c.Quick {
+		return 200
+	}
+	return 800
+}
+
+// reps is the number of repetitions per measurement (paper: 5 for accuracy,
+// 3 for coverage; we use one knob).
+func (c Context) reps() int {
+	if c.Quick {
+		return 2
+	}
+	return 3
+}
+
+// victimCounts returns the victim instance-count sweep of Fig. 11a.
+func (c Context) victimCounts() []int {
+	if c.Quick {
+		return []int{10, 25, 50}
+	}
+	return []int{20, 50, 100, 200}
+}
+
+// defaultVictims is the default victim instance count (paper: 100).
+func (c Context) defaultVictims() int {
+	if c.Quick {
+		return 50
+	}
+	return 100
+}
+
+// trackedInstances is the long-running instance count of the Fig. 5 study.
+func (c Context) trackedInstances() int {
+	if c.Quick {
+		return 20
+	}
+	return 50
+}
+
+// trackingDuration is the Fig. 5 observation window (paper: one week).
+func (c Context) trackingDuration() time.Duration {
+	if c.Quick {
+		return 72 * time.Hour
+	}
+	return 7 * 24 * time.Hour
+}
+
+// regionAccounts returns the three account identities of the study.
+func accounts() (attacker string, victims []string) {
+	return "account-1", []string{"account-2", "account-3"}
+}

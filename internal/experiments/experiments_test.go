@@ -1,0 +1,428 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"eaao/internal/faas"
+)
+
+func quickCtx() Context { return Context{Seed: 42, Quick: true} }
+
+func run(t *testing.T, id string) *Result {
+	t.Helper()
+	res, err := Run(id, quickCtx())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if res.ID != id {
+		t.Fatalf("result id = %q", res.ID)
+	}
+	return res
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"fig11a", "fig11b", "fig12", "table1", "freq", "verifycost", "gen2",
+		"naive", "cost", "gen2cov", "mitigation", "extraction", "reattack", "ablations"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("registry[%d] = %s, want %s", i, all[i].ID, id)
+		}
+		if _, ok := ByID(id); !ok {
+			t.Errorf("ByID(%s) failed", id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown id resolved")
+	}
+	if _, err := Run("nope", quickCtx()); err == nil {
+		t.Error("unknown experiment ran")
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	res := run(t, "fig4")
+	// Sweet spot: near-perfect at 100ms–1s.
+	if res.Metrics["fmi@1s"] < 0.99 {
+		t.Errorf("fmi@1s = %v, want ≈ 1", res.Metrics["fmi@1s"])
+	}
+	if res.Metrics["fmi@100ms"] < 0.98 {
+		t.Errorf("fmi@100ms = %v", res.Metrics["fmi@100ms"])
+	}
+	// Degradation at the extremes: recall falls at fine precision,
+	// precision falls at coarse precision.
+	if res.Metrics["recall@1ms"] > res.Metrics["recall@1s"]-0.01 {
+		t.Errorf("recall@1ms = %v not below recall@1s = %v",
+			res.Metrics["recall@1ms"], res.Metrics["recall@1s"])
+	}
+	if res.Metrics["precision@1000s"] > res.Metrics["precision@1s"]-0.005 {
+		t.Errorf("precision@1000s = %v not below precision@1s = %v",
+			res.Metrics["precision@1000s"], res.Metrics["precision@1s"])
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	res := run(t, "fig5")
+	if res.Metrics["min_abs_r"] < 0.999 {
+		t.Errorf("min |r| = %v; drift must be linear", res.Metrics["min_abs_r"])
+	}
+	// Only a minority of fingerprints expire within 2 days.
+	if got := res.Metrics["cdf_at_2_days"]; got > 0.45 {
+		t.Errorf("CDF at 2 days = %v, want a minority", got)
+	}
+	if len(res.Figures) != 1 || len(res.Figures[0].Series) != 3 {
+		t.Error("fig5 must have one figure with three region series")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	res := run(t, "fig6")
+	if res.Metrics["terminated"] != res.Metrics["total"] {
+		t.Errorf("only %v/%v terminated", res.Metrics["terminated"], res.Metrics["total"])
+	}
+	if g := res.Metrics["grace_minutes"]; g < 1.9 {
+		t.Errorf("grace = %v min, want ≥ ~2", g)
+	}
+	if a := res.Metrics["all_gone_minutes"]; a > 12.5 {
+		t.Errorf("all gone at %v min, want ≤ ~12", a)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	res := run(t, "fig7")
+	// Cumulative growth stays small relative to the per-launch footprint
+	// and within the base pool.
+	// Allow a small margin: fingerprint drift over the experiment's hours
+	// can split a host's bucket once or twice.
+	if res.Metrics["cumulative_after_6"] > res.Metrics["base_pool_size"]*1.15+2 {
+		t.Errorf("cumulative %v exceeded base pool %v",
+			res.Metrics["cumulative_after_6"], res.Metrics["base_pool_size"])
+	}
+	if res.Metrics["growth"] > res.Metrics["first_launch_hosts"]*0.5 {
+		t.Errorf("growth %v too large vs first launch %v",
+			res.Metrics["growth"], res.Metrics["first_launch_hosts"])
+	}
+	// The fresh-service variant shows the same account-level behavior.
+	if res.Metrics["fresh_service_cumulative"] > res.Metrics["base_pool_size"]*1.15+2 {
+		t.Error("fresh services escaped the base pool")
+	}
+}
+
+func TestFig8StepPattern(t *testing.T) {
+	res := run(t, "fig8")
+	// Account switches at launches 3 and 5 produce big steps; repeats
+	// produce small ones.
+	bigA, bigB := res.Metrics["step_launch3"], res.Metrics["step_launch5"]
+	smallMax := res.Metrics["step_launch2"]
+	if res.Metrics["step_launch4"] > smallMax {
+		smallMax = res.Metrics["step_launch4"]
+	}
+	if res.Metrics["step_launch6"] > smallMax {
+		smallMax = res.Metrics["step_launch6"]
+	}
+	if bigA < 3*smallMax || bigB < 3*smallMax {
+		t.Errorf("no clear step pattern: steps3/5 = %v/%v vs same-account max %v",
+			bigA, bigB, smallMax)
+	}
+}
+
+func TestFig9HelperGrowth(t *testing.T) {
+	res := run(t, "fig9")
+	ten := res.Metrics["extra_hosts_10min"]
+	two := res.Metrics["extra_hosts_2min"]
+	cold := res.Metrics["extra_hosts_45min"]
+	if ten < 3*two {
+		t.Errorf("10-min interval extra hosts (%v) not ≫ 2-min (%v)", ten, two)
+	}
+	if cold > ten/4 {
+		t.Errorf("45-min interval shows helper behavior: %v extra hosts (10min: %v)", cold, ten)
+	}
+}
+
+func TestFig10OverlapGrowth(t *testing.T) {
+	res := run(t, "fig10")
+	if res.Metrics["growth_last_episode"] <= 0 {
+		t.Error("cumulative helper footprint stopped growing")
+	}
+	// Growth per episode must be smaller than the episode's own helper
+	// count (sets overlap).
+	if res.Metrics["growth_last_episode"] >= res.Metrics["episode6_helpers"] {
+		t.Errorf("episode 6 added %v new of %v helpers; no overlap",
+			res.Metrics["growth_last_episode"], res.Metrics["episode6_helpers"])
+	}
+}
+
+func TestFig11aCoverage(t *testing.T) {
+	res := run(t, "fig11a")
+	// Every region co-locates with at least one victim instance.
+	for _, region := range []faas.Region{faas.USEast1, faas.USCentral1, faas.USWest1} {
+		if res.Metrics["at_least_one_"+string(region)] != 1 {
+			t.Errorf("%s: attacker failed to co-locate with any victim instance", region)
+		}
+	}
+	// Coverage ordering: west ≥ east > central (paper's shape).
+	east := res.Metrics["coverage_us-east1_account-2"]
+	central := res.Metrics["coverage_us-central1_account-2"]
+	west := res.Metrics["coverage_us-west1_account-2"]
+	if east < 0.7 {
+		t.Errorf("us-east1 coverage = %v, want high", east)
+	}
+	if west < 0.8 {
+		t.Errorf("us-west1 coverage = %v, want ~1", west)
+	}
+	if central > east+0.05 {
+		t.Errorf("us-central1 (%v) should not beat us-east1 (%v)", central, east)
+	}
+}
+
+func TestFig11bSizeInsensitive(t *testing.T) {
+	res := run(t, "fig11b")
+	for _, region := range []string{"us-east1", "us-west1"} {
+		// Coverage per victim host is binary, so a quick-mode config with
+		// ~5 victim hosts quantizes in steps of 0.2; allow that.
+		if spread := res.Metrics["size_spread_"+region]; spread > 0.3 {
+			t.Errorf("%s: coverage spread across sizes = %v, want small", region, spread)
+		}
+	}
+}
+
+func TestFig12Scale(t *testing.T) {
+	res := run(t, "fig12")
+	for _, region := range []string{"us-east1", "us-central1", "us-west1"} {
+		found := res.Metrics["found_"+region]
+		truth := res.Metrics["true_"+region]
+		if found <= 0 || found > truth {
+			t.Errorf("%s: found %v of %v", region, found, truth)
+		}
+		// The estimate is a lower bound on the true fleet (the paper itself
+		// says "at least 1702 hosts"); exploration must still reach a large
+		// share of the reachable serving pool.
+		if found < truth*0.45 {
+			t.Errorf("%s: exploration found only %v of %v hosts", region, found, truth)
+		}
+		share := res.Metrics["attacker_share_"+region]
+		if share <= 0.2 || share > 1 {
+			t.Errorf("%s: attacker share %v out of plausible range", region, share)
+		}
+		// The capture-recapture point estimate must refine the lower bound
+		// without exceeding the truth by much.
+		chap := res.Metrics["chapman_"+region]
+		if chap < found*0.95 || chap > truth*1.3 {
+			t.Errorf("%s: Chapman estimate %v outside [found %v, 1.3×true %v]", region, chap, found, truth)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	res := run(t, "table1")
+	if res.Metrics["sizes"] != 4 {
+		t.Errorf("sizes = %v", res.Metrics["sizes"])
+	}
+	if len(res.Tables) != 1 || res.Tables[0].Rows() != 4 {
+		t.Error("table1 must render 4 rows")
+	}
+}
+
+func TestFreqStudy(t *testing.T) {
+	res := run(t, "freq")
+	frac := res.Metrics["problematic_frac"]
+	if frac < 0.02 || frac > 0.25 {
+		t.Errorf("problematic fraction = %v, paper says ~10%%", frac)
+	}
+	if res.Metrics["median_std_hz"] > 10_000 {
+		t.Errorf("median std = %v Hz; most hosts should be stable", res.Metrics["median_std_hz"])
+	}
+}
+
+func TestVerifyCost(t *testing.T) {
+	res := run(t, "verifycost")
+	if res.Metrics["speedup"] < 20 {
+		t.Errorf("speedup over pairwise = %v, want large", res.Metrics["speedup"])
+	}
+	if res.Metrics["ours_usd"] >= res.Metrics["pairwise_usd"]/10 {
+		t.Errorf("cost advantage too small: ours %v vs pairwise %v",
+			res.Metrics["ours_usd"], res.Metrics["pairwise_usd"])
+	}
+	// SIE saves almost nothing relative to plain pairwise: the orchestrator
+	// stacks instances, so the elimination round removes (nearly) nobody.
+	if res.Metrics["sie_tests"] < res.Metrics["pairwise_tests"]*0.5 {
+		t.Errorf("SIE eliminated too much: %v tests vs %v pairwise",
+			res.Metrics["sie_tests"], res.Metrics["pairwise_tests"])
+	}
+}
+
+func TestGen2Accuracy(t *testing.T) {
+	res := run(t, "gen2")
+	if r := res.Metrics["recall"]; r < 0.9999 {
+		t.Errorf("Gen2 recall = %v; must have no false negatives", r)
+	}
+	if p := res.Metrics["precision"]; p > 0.95 {
+		t.Errorf("Gen2 precision = %v; expected coarse (paper: ≈0.48)", p)
+	}
+	if h := res.Metrics["hosts_per_fingerprint"]; h < 1.02 {
+		t.Errorf("hosts per fingerprint = %v; expected > 1", h)
+	}
+	if f := res.Metrics["fmi"]; f < 0.3 || f > 0.95 {
+		t.Errorf("Gen2 FMI = %v, out of plausible band", f)
+	}
+}
+
+func TestNaiveMostlyFails(t *testing.T) {
+	res := run(t, "naive")
+	if res.Metrics["zero_pairs"] < 2 {
+		t.Errorf("naive strategy succeeded too often: only %v zero-coverage pairs",
+			res.Metrics["zero_pairs"])
+	}
+}
+
+func TestAttackCost(t *testing.T) {
+	res := run(t, "cost")
+	for _, region := range []string{"us-east1", "us-central1", "us-west1"} {
+		usd := res.Metrics["usd_"+region]
+		if usd <= 0 {
+			t.Errorf("%s: zero cost", region)
+		}
+		// Quick mode scales instances 4× down and launches 2/3: the paper's
+		// $23–27 becomes a few dollars; allow a broad but bounded band.
+		if usd > 30 {
+			t.Errorf("%s: cost %v implausibly high", region, usd)
+		}
+	}
+}
+
+func TestGen2CoverageExperiment(t *testing.T) {
+	res := run(t, "gen2cov")
+	east := res.Metrics["coverage_us-east1_account-2"]
+	if east < 0.5 {
+		t.Errorf("gen2 us-east1 coverage = %v, want high", east)
+	}
+}
+
+func TestResultRendering(t *testing.T) {
+	res := run(t, "table1")
+	out := res.String()
+	for _, want := range []string{"table1", "Pico", "metrics:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered result missing %q", want)
+		}
+	}
+}
+
+func TestMitigationExperiment(t *testing.T) {
+	res := run(t, "mitigation")
+	if res.Metrics["gen1_fmi_baseline"] < 0.99 {
+		t.Errorf("baseline gen1 FMI = %v", res.Metrics["gen1_fmi_baseline"])
+	}
+	if res.Metrics["gen1_recall_mitigated"] > 0.3 {
+		t.Errorf("mitigated gen1 recall = %v; trap-and-emulate should break boot-time fingerprints",
+			res.Metrics["gen1_recall_mitigated"])
+	}
+	if res.Metrics["gen2_precision_mitigated"] >= res.Metrics["gen2_precision_baseline"] {
+		t.Error("TSC scaling did not degrade Gen2 fingerprint precision")
+	}
+	if res.Metrics["verify_tests_mitigated"] < res.Metrics["verify_tests_baseline"]*3 {
+		t.Errorf("verification under mitigations (%v tests) not clearly costlier than baseline (%v)",
+			res.Metrics["verify_tests_mitigated"], res.Metrics["verify_tests_baseline"])
+	}
+	if res.Metrics["timer_overhead_factor"] < 50 {
+		t.Errorf("timer overhead factor = %v", res.Metrics["timer_overhead_factor"])
+	}
+	// Random placement must not *help* the attacker, and must cost the
+	// victim its image locality (the defense's operational price).
+	if res.Metrics["sched_coverage_randomized"] > res.Metrics["sched_coverage_baseline"]+0.05 {
+		t.Errorf("random placement increased coverage: %v vs %v",
+			res.Metrics["sched_coverage_randomized"], res.Metrics["sched_coverage_baseline"])
+	}
+	if res.Metrics["sched_coldhosts_randomized"] < res.Metrics["sched_coldhosts_baseline"]+0.2 {
+		t.Errorf("random placement did not cost locality: cold %v vs baseline %v",
+			res.Metrics["sched_coldhosts_randomized"], res.Metrics["sched_coldhosts_baseline"])
+	}
+}
+
+func TestExtractionExperiment(t *testing.T) {
+	res := run(t, "extraction")
+	if res.Metrics["spies"] == 0 {
+		t.Fatal("no spies; co-location failed in the extraction world")
+	}
+	if res.Metrics["colocated_accuracy"] < 0.99 {
+		t.Errorf("co-located secret recovery = %v, want ~1", res.Metrics["colocated_accuracy"])
+	}
+	// A remote observer reads all-zero: it matches the secret only on its
+	// zero bits (the 32-bit constant has 24 ones → accuracy 0.25).
+	if res.Metrics["remote_accuracy"] > 0.6 {
+		t.Errorf("remote observer accuracy = %v; it should learn nothing", res.Metrics["remote_accuracy"])
+	}
+}
+
+func TestReattackExperiment(t *testing.T) {
+	res := run(t, "reattack")
+	if res.Metrics["recorded_hosts"] == 0 {
+		t.Fatal("no victim hosts recorded")
+	}
+	if e := res.Metrics["focus_effort"]; e <= 0 || e > 0.6 {
+		t.Errorf("focus effort = %v, want a small nonzero fraction", e)
+	}
+	full := res.Metrics["reattack_full_coverage"]
+	focused := res.Metrics["reattack_focused_coverage"]
+	if focused < full*0.6 {
+		t.Errorf("focused coverage %v lost too much vs full %v", focused, full)
+	}
+}
+
+func TestAblationsExperiment(t *testing.T) {
+	res := run(t, "ablations")
+	// m=2 must be cheaper than m=4 on this workload (large m explodes the
+	// cross-cluster refinement) while keeping recall high.
+	if res.Metrics["m2_tests"] >= res.Metrics["m4_tests"] {
+		t.Errorf("m=2 used %v tests, m=4 used %v; expected m=2 cheaper",
+			res.Metrics["m2_tests"], res.Metrics["m4_tests"])
+	}
+	if res.Metrics["m2_recall"] < 0.99 {
+		t.Errorf("m=2 recall %v", res.Metrics["m2_recall"])
+	}
+	// Scalable verification beats both baselines by a wide margin.
+	if res.Metrics["verify_scalable_tests"]*10 > res.Metrics["verify_pairwise_tests"] {
+		t.Error("scalable verification lost its advantage")
+	}
+	if res.Metrics["verify_sie_tests"] < res.Metrics["verify_pairwise_tests"]*0.5 {
+		t.Error("SIE eliminated instances; it should not in FaaS")
+	}
+	// Membus costs far more wall-clock than RNG at equal quality.
+	if res.Metrics["channel_membus_minutes"] < res.Metrics["channel_rng_minutes"]*10 {
+		t.Error("membus channel not clearly slower")
+	}
+	// Launch interval sweet spot: 10 min beats both 2 min and 45 min.
+	if res.Metrics["interval_10m0s"] <= res.Metrics["interval_2m0s"] ||
+		res.Metrics["interval_10m0s"] <= res.Metrics["interval_45m0s"] {
+		t.Errorf("no 10-minute sweet spot: %v / %v / %v",
+			res.Metrics["interval_2m0s"], res.Metrics["interval_10m0s"], res.Metrics["interval_45m0s"])
+	}
+	// More services, more footprint (with diminishing returns).
+	if res.Metrics["services_6"] <= res.Metrics["services_1"] {
+		t.Error("service count did not grow footprint")
+	}
+	// Frequency-source trade-off: method 1 loses fingerprints to drift over
+	// five days; method 2 keeps (nearly) all it can measure, but cannot
+	// measure every host.
+	if res.Metrics["freq_reported_survival"] >= 0.95 {
+		t.Errorf("reported-frequency fingerprints did not expire: survival %v",
+			res.Metrics["freq_reported_survival"])
+	}
+	if res.Metrics["freq_measured_survival"] < 0.9 {
+		t.Errorf("measured-frequency fingerprints decayed: survival %v",
+			res.Metrics["freq_measured_survival"])
+	}
+	if f := res.Metrics["freq_measured_usable_frac"]; f > 0.99 || f < 0.7 {
+		t.Errorf("measured-method usable fraction = %v, want ~0.9", f)
+	}
+	// Dynamic placement monotonically erodes coverage.
+	if res.Metrics["dynamic_0.75"] >= res.Metrics["dynamic_0.00"] {
+		t.Errorf("dynamic placement did not erode coverage: %v vs %v",
+			res.Metrics["dynamic_0.75"], res.Metrics["dynamic_0.00"])
+	}
+}

@@ -1,0 +1,227 @@
+package faas
+
+import (
+	"sort"
+
+	"eaao/internal/randx"
+	"eaao/internal/sandbox"
+	"eaao/internal/simtime"
+)
+
+// Placement-preference selection noise. Pools are "noisy top-K" selections
+// by host desirability: every scheduler decision ranks hosts by desirability
+// plus Gaussian noise and takes the best K. Base pools rank sharply (small
+// noise); helper pools rank more loosely. The shared preference axis is what
+// makes an attacker's helper footprint cover a victim's base hosts far
+// better than uniform coverage would suggest — the paper's attacker occupied
+// 59% of us-east1 hosts yet covered ~98-100% of victim instances.
+const (
+	sigmaBase   = 0.05
+	sigmaHelper = 0.10
+	// sigmaFresh is nearly rank-blind: the few fleet-wide "fresh" helper
+	// hosts each service gets are how exploration reaches the colder part
+	// of the fleet (Fig. 12's estimates approach the true size).
+	sigmaFresh = 0.60
+)
+
+// Account is one tenant identity within a data center. The orchestrator
+// assigns each account a stable base-host pool (Obs. 3/4) derived
+// deterministically from the account identity.
+type Account struct {
+	dc  *DataCenter
+	id  string
+	rng *randx.Source
+
+	group    int
+	basePool []*Host // preference-ordered
+	helpers  []*Host // account-level helper pool, preference-ordered
+
+	services map[string]*Service
+	svcSeq   []string
+
+	// quota caps instances per service for this account (new-account
+	// limit); 0 means the region-wide maximum applies.
+	quota int
+
+	bill Bill
+}
+
+func newAccount(dc *DataCenter, id string) *Account {
+	rng := dc.rng.Derive("account", id)
+	a := &Account{
+		dc:       dc,
+		id:       id,
+		rng:      rng,
+		group:    int(rng.Derive("group").Uint64() % uint64(dc.profile.PlacementGroups)),
+		services: make(map[string]*Service),
+	}
+	a.basePool = a.sampleBasePool(rng.Derive("base"))
+	a.helpers = noisyTopSample(rng.Derive("helpers"), dc.hosts, dc.profile.AccountHelperPool, sigmaHelper, nil)
+	a.quota = dc.profile.NewAccountQuota
+	return a
+}
+
+// Quota returns the account's per-service instance cap (the region maximum
+// when the account is mature).
+func (a *Account) Quota() int {
+	if a.quota > 0 && a.quota < a.dc.profile.MaxInstancesPerService {
+		return a.quota
+	}
+	return a.dc.profile.MaxInstancesPerService
+}
+
+// Mature lifts the new-account quota to the region maximum, modeling an
+// account that has sustained consistent usage for months (§5.2: attackers
+// wanting many accounts must pay this time cost per account).
+func (a *Account) Mature() { a.quota = 0 }
+
+// sampleBasePool draws the account's base pool from its placement group,
+// ranked by host desirability.
+func (a *Account) sampleBasePool(rng *randx.Source) []*Host {
+	var group []*Host
+	for _, h := range a.dc.hosts {
+		if h.group == a.group {
+			group = append(group, h)
+		}
+	}
+	n := a.dc.profile.BasePoolSize
+	if n > len(group) {
+		n = len(group)
+	}
+	return noisyTopSample(rng, group, n, sigmaBase, nil)
+}
+
+// noisyTopSample selects the k best candidates by desirability plus
+// Gaussian selection noise, skipping any host in exclude. The result is
+// ordered best-first, i.e. stronger preference first.
+func noisyTopSample(rng *randx.Source, candidates []*Host, k int, sigma float64, exclude map[*Host]bool) []*Host {
+	type scored struct {
+		h     *Host
+		score float64
+	}
+	pool := make([]scored, 0, len(candidates))
+	for _, h := range candidates {
+		if exclude[h] {
+			continue
+		}
+		pool = append(pool, scored{h: h, score: h.desirability + rng.Normal(0, sigma)})
+	}
+	sort.Slice(pool, func(i, j int) bool {
+		if pool[i].score != pool[j].score {
+			return pool[i].score < pool[j].score
+		}
+		return pool[i].h.id < pool[j].h.id
+	})
+	if k > len(pool) {
+		k = len(pool)
+	}
+	out := make([]*Host, k)
+	for i := range out {
+		out[i] = pool[i].h
+	}
+	return out
+}
+
+// resampleBasePool replaces frac of the base pool with fresh draws; used by
+// dynamic regions (us-central1) on cold launches. Unlike the static
+// group-confined assignment, dynamic replacements come from the whole fleet
+// with loose rank preference — the paper observed that in us-central1 "many
+// instances are placed onto different hosts across launches, even if we
+// launch from a cold service", which is what keeps any fixed attacker
+// footprint from ever fully covering a victim there.
+func (a *Account) resampleBasePool(frac float64) {
+	n := int(frac * float64(len(a.basePool)))
+	if n <= 0 {
+		return
+	}
+	current := make(map[*Host]bool, len(a.basePool))
+	for _, h := range a.basePool {
+		current[h] = true
+	}
+	var candidates []*Host
+	for _, h := range a.dc.hosts {
+		if !current[h] {
+			candidates = append(candidates, h)
+		}
+	}
+	// Loose preference: spread well beyond the fleet's most desirable tier.
+	const sigmaDynamic = 1.0
+	fresh := noisyTopSample(a.rng.Derive("resample"), candidates, n, sigmaDynamic, nil)
+	// Replace entries at random positions — including the high-preference
+	// head. This is what makes us-central1 placement "more dynamic": a
+	// tenant's instances keep landing on partially new hosts, which in turn
+	// caps how well any attacker footprint can cover them (the paper's
+	// 61-90% coverage band there, vs ~100% elsewhere).
+	perm := a.rng.Derive("resample-pos").Perm(len(a.basePool))
+	for i, h := range fresh {
+		a.basePool[perm[i]] = h
+	}
+}
+
+// ID returns the account identity.
+func (a *Account) ID() string { return a.id }
+
+// DataCenter returns the account's region.
+func (a *Account) DataCenter() *DataCenter { return a.dc }
+
+// ServiceConfig configures a deployed service.
+type ServiceConfig struct {
+	// Size is the container resource specification; zero value means
+	// SizeSmall (the Cloud Run default).
+	Size InstanceSize
+	// Gen selects the execution environment; zero value means Gen 1 (the
+	// Cloud Run default).
+	Gen sandbox.Gen
+	// MaxConcurrency is the per-instance request concurrency used by the
+	// request-driven autoscaler; zero means the Cloud Run default (80).
+	// The paper's measurement services effectively use 1 (one pinned
+	// connection per instance), which the Launch API models directly.
+	MaxConcurrency int
+}
+
+// DeployService creates (or returns the existing) service with the given
+// name. Deploying an existing name with a different configuration replaces
+// the configuration for future instances, like pushing a new revision.
+func (a *Account) DeployService(name string, cfg ServiceConfig) *Service {
+	if cfg.Size == (InstanceSize{}) {
+		cfg.Size = SizeSmall
+	}
+	if cfg.Gen == 0 {
+		cfg.Gen = sandbox.Gen1
+	}
+	if svc, ok := a.services[name]; ok {
+		svc.size = cfg.Size
+		svc.gen = cfg.Gen
+		svc.maxConcurrency = cfg.MaxConcurrency
+		return svc
+	}
+	svc := newService(a, name, cfg)
+	a.services[name] = svc
+	a.svcSeq = append(a.svcSeq, name)
+	return svc
+}
+
+// Bill is the account's accumulated resource usage. Cloud Run bills active
+// (connected) time only; idle instances accrue nothing.
+type Bill struct {
+	VCPUSeconds float64
+	GBSeconds   float64
+	Launches    int
+	Instances   int
+}
+
+// accrue charges one instance's active span to the account.
+func (a *Account) accrue(inst *Instance, from, to simtime.Time) {
+	secs := to.Sub(from).Seconds()
+	if secs <= 0 {
+		return
+	}
+	a.bill.VCPUSeconds += secs * inst.service.size.VCPU
+	a.bill.GBSeconds += secs * inst.service.size.MemoryGB
+}
+
+// Bill returns a copy of the account's usage counters.
+func (a *Account) Bill() Bill { return a.bill }
+
+// ResetBill zeroes the usage counters (used between experiment phases).
+func (a *Account) ResetBill() { a.bill = Bill{} }

@@ -1,0 +1,144 @@
+package faas
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAutoscaleScaleOut(t *testing.T) {
+	dc := newTestDC(t, 50)
+	svc := dc.Account("a").DeployService("api", ServiceConfig{MaxConcurrency: 80})
+	if err := svc.SetDemand(400); err != nil {
+		t.Fatal(err)
+	}
+	// ceil(400/80) = 5 instances, created on the first (immediate) tick.
+	if got := len(svc.ActiveInstances()); got != 5 {
+		t.Fatalf("active = %d, want 5", got)
+	}
+	// Demand rises: next tick scales out.
+	if err := svc.SetDemand(2000); err != nil {
+		t.Fatal(err)
+	}
+	dc.Scheduler().Advance(20 * time.Second)
+	if got := len(svc.ActiveInstances()); got != 25 {
+		t.Errorf("after surge: active = %d, want 25", got)
+	}
+}
+
+func TestAutoscaleScaleInGradually(t *testing.T) {
+	dc := newTestDC(t, 51)
+	svc := dc.Account("a").DeployService("api", ServiceConfig{MaxConcurrency: 10})
+	if err := svc.SetDemand(500); err != nil { // 50 instances
+		t.Fatal(err)
+	}
+	dc.Scheduler().Advance(20 * time.Second)
+	if got := len(svc.ActiveInstances()); got != 50 {
+		t.Fatalf("active = %d", got)
+	}
+	if err := svc.SetDemand(100); err != nil { // target 10
+		t.Fatal(err)
+	}
+	dc.Scheduler().Advance(20 * time.Second)
+	if got := len(svc.ActiveInstances()); got != 10 {
+		t.Errorf("after scale-in: active = %d, want 10", got)
+	}
+	// The surplus idles out through the normal grace+span reaping.
+	if idle := svc.IdleCount(); idle == 0 {
+		t.Error("no idle instances right after scale-in")
+	}
+	dc.Scheduler().Advance(15 * time.Minute)
+	if got := len(svc.Instances()); got != 10 {
+		t.Errorf("after reaping: %d instances, want 10", got)
+	}
+}
+
+func TestAutoscaleToZero(t *testing.T) {
+	dc := newTestDC(t, 52)
+	svc := dc.Account("a").DeployService("api", ServiceConfig{})
+	if err := svc.SetDemand(100); err != nil {
+		t.Fatal(err)
+	}
+	dc.Scheduler().Advance(time.Minute)
+	if err := svc.SetDemand(0); err != nil {
+		t.Fatal(err)
+	}
+	dc.Scheduler().Advance(20 * time.Minute)
+	if got := len(svc.Instances()); got != 0 {
+		t.Errorf("%d instances survive zero demand", got)
+	}
+	// The autoscaler has stopped; re-setting demand restarts it.
+	if err := svc.SetDemand(160); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(svc.ActiveInstances()); got != 2 {
+		t.Errorf("restart: active = %d, want 2", got)
+	}
+}
+
+func TestAutoscaleDefaultConcurrency(t *testing.T) {
+	dc := newTestDC(t, 53)
+	svc := dc.Account("a").DeployService("api", ServiceConfig{})
+	if err := svc.SetDemand(DefaultMaxConcurrency + 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(svc.ActiveInstances()); got != 2 {
+		t.Errorf("active = %d, want 2 (default concurrency 80)", got)
+	}
+	if svc.Demand() != DefaultMaxConcurrency+1 {
+		t.Errorf("Demand() = %d", svc.Demand())
+	}
+}
+
+func TestAutoscaleRejectsNegative(t *testing.T) {
+	dc := newTestDC(t, 54)
+	svc := dc.Account("a").DeployService("api", ServiceConfig{})
+	if err := svc.SetDemand(-1); err == nil {
+		t.Error("negative demand accepted")
+	}
+}
+
+func TestAutoscaleQuotaCapped(t *testing.T) {
+	p := testProfile()
+	p.NewAccountQuota = 8
+	pl := MustPlatform(55, p)
+	dc := pl.MustRegion("test-region")
+	svc := dc.Account("fresh").DeployService("api", ServiceConfig{MaxConcurrency: 1})
+	if err := svc.SetDemand(100); err != nil {
+		t.Fatal(err)
+	}
+	dc.Scheduler().Advance(time.Minute)
+	if got := len(svc.ActiveInstances()); got != 8 {
+		t.Errorf("active = %d, want the quota cap of 8", got)
+	}
+}
+
+// Demand surges at short intervals trigger the same helper-host behavior as
+// repeated Launches — the autoscaler is the production face of the attack
+// surface.
+func TestAutoscaleSurgesUseHelperHosts(t *testing.T) {
+	dc := newTestDC(t, 56)
+	svc := dc.Account("a").DeployService("api", ServiceConfig{MaxConcurrency: 1})
+	footprint := make(map[HostID]bool)
+	record := func() {
+		for _, inst := range svc.ActiveInstances() {
+			id, _ := inst.HostID()
+			footprint[id] = true
+		}
+	}
+	for cycle := 0; cycle < 4; cycle++ {
+		if err := svc.SetDemand(300); err != nil {
+			t.Fatal(err)
+		}
+		dc.Scheduler().Advance(time.Minute)
+		record()
+		if err := svc.SetDemand(20); err != nil {
+			t.Fatal(err)
+		}
+		dc.Scheduler().Advance(10 * time.Minute)
+	}
+	base := dc.Profile().BasePoolSize
+	if len(footprint) <= base {
+		t.Errorf("surging demand stayed on %d hosts (base pool %d); helper behavior missing",
+			len(footprint), base)
+	}
+}

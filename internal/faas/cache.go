@@ -1,0 +1,60 @@
+package faas
+
+import "fmt"
+
+// Last-level-cache contention modeling, the substrate for prime+probe style
+// extraction (§2.1 lists caches as the most commonly exploited shared
+// resource; the cpuid cache-hierarchy information of §4.1 is what attackers
+// size their eviction sets with).
+//
+// The model is deliberately coarse: the LLC is divided into CacheSetGroups
+// monitorable groups of sets (a real attack builds per-set eviction sets;
+// grouping models the resolution an attacker practically monitors). An
+// executing workload occupies the set groups of its cache footprint; a probe
+// of a group reports whether any co-resident workload is hitting it.
+
+// CacheSetGroups is the number of monitorable LLC set groups per host.
+const CacheSetGroups = 64
+
+// SetCacheFootprint declares which LLC set groups the instance's program
+// touches while executing (its code/data layout). The footprint matters only
+// while the instance's workload predicate reports it executing. Out-of-range
+// groups are rejected.
+func (i *Instance) SetCacheFootprint(groups []int) error {
+	for _, g := range groups {
+		if g < 0 || g >= CacheSetGroups {
+			return fmt.Errorf("faas: cache set group %d out of [0,%d)", g, CacheSetGroups)
+		}
+	}
+	i.cacheFootprint = append([]int(nil), groups...)
+	return nil
+}
+
+// ProbeCacheGroup is the prime+probe primitive: the probing instance primes
+// LLC set group g, yields briefly, and re-probes; it reports whether its
+// lines were evicted. Evictions happen when a co-resident instance's
+// executing workload touches the group, and occasionally from unrelated
+// cache traffic (caches are far noisier than the RNG: ~5% background per
+// probe).
+func ProbeCacheGroup(prober *Instance, g int) (bool, error) {
+	if prober.state == StateTerminated {
+		return false, fmt.Errorf("faas: probe from terminated instance %s", prober.id)
+	}
+	if g < 0 || g >= CacheSetGroups {
+		return false, fmt.Errorf("faas: cache set group %d out of [0,%d)", g, CacheSetGroups)
+	}
+	h := prober.host
+	now := h.dc.platform.sched.Now()
+	for inst := range h.instances {
+		if inst == prober || inst.workload == nil || !inst.workload(now) {
+			continue
+		}
+		for _, fg := range inst.cacheFootprint {
+			if fg == g {
+				return true, nil
+			}
+		}
+	}
+	// Background traffic from unrelated tenants and the host itself.
+	return h.noiseRNG.Bool(0.05), nil
+}

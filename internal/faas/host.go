@@ -1,0 +1,157 @@
+package faas
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"eaao/internal/cpu"
+	"eaao/internal/randx"
+	"eaao/internal/sandbox"
+	"eaao/internal/simtime"
+	"eaao/internal/tsc"
+)
+
+// HostID identifies a physical host within one data center. Host identities
+// are simulator-internal ground truth: attack code never sees them and must
+// infer co-residency through fingerprints and covert channels.
+type HostID int
+
+// Host is one physical machine in a data center.
+type Host struct {
+	id      HostID
+	dc      *DataCenter
+	model   cpu.Model
+	counter tsc.Counter
+	noise   tsc.NoiseProfile
+	// refinedHz is the host kernel's boot-time TSC frequency refinement,
+	// rounded to 1 kHz (what KVM exports to Gen 2 guests).
+	refinedHz float64
+	// desirability in [0,1): scheduler-facing score rank; lower-indexed
+	// (more desirable) hosts are preferred by both base-pool assignment and
+	// helper expansion, which is what correlates attacker and victim
+	// footprints.
+	desirability float64
+	// group is the placement group for base-host assignment.
+	group int
+	// noiseRNG drives guest measurement noise and covert-channel background
+	// activity on this host.
+	noiseRNG *randx.Source
+
+	// instances currently resident (active or idle, not terminated).
+	instances map[*Instance]struct{}
+}
+
+// newHost builds host i of a data center, drawing its model, boot time, TSC
+// and noise character from the DC's deterministic sub-streams.
+func newHost(dc *DataCenter, i int, bootTimes []simtime.Time) *Host {
+	rng := dc.rng.Derive("host", fmt.Sprint(i))
+	model := cpu.Catalog[rng.WeightedIndex(cpu.DefaultFleetWeights)]
+	counter := tsc.NewCounter(rng, bootTimes[i], model.ReportedTSCHz())
+
+	noise := tsc.DefaultNoise()
+	if rng.Bool(dc.profile.ProblematicHostFrac) {
+		noise = tsc.ProblematicNoise(rng.Derive("problematic"))
+	}
+
+	// Linux refines the TSC frequency once at boot to 1 kHz precision; the
+	// refinement lands within a few hundred Hz of the true rate.
+	refineErr := rng.Normal(0, 150)
+	refined := math.Round((float64(counter.ActualHz)+refineErr)/1000) * 1000
+
+	return &Host{
+		id:           HostID(i),
+		dc:           dc,
+		model:        model,
+		counter:      counter,
+		noise:        noise,
+		refinedHz:    refined,
+		desirability: float64(i%dc.profile.NumHosts) / float64(dc.profile.NumHosts),
+		group:        i % dc.profile.PlacementGroups,
+		noiseRNG:     rng.Derive("noise"),
+		instances:    make(map[*Instance]struct{}),
+	}
+}
+
+// sampleBootTimes draws boot instants for n hosts: a mix of independent
+// reboots spread over the past MaxBootAge and clustered maintenance batches
+// in which many hosts reboot within the same hour. All boots are strictly in
+// the virtual past.
+func sampleBootTimes(rng *randx.Source, p RegionProfile, start simtime.Time) []simtime.Time {
+	n := p.NumHosts
+	out := make([]simtime.Time, n)
+	age := float64(p.MaxBootAge)
+
+	// A handful of maintenance windows, uniformly over the age span.
+	nBatches := n/40 + 1
+	batches := make([]float64, nBatches)
+	for i := range batches {
+		batches[i] = rng.Range(0.02, 1) * age
+	}
+
+	for i := 0; i < n; i++ {
+		var back float64 // how long ago the host booted, in ns
+		if rng.Bool(p.MaintenanceBatchFrac) {
+			// Rolling maintenance reboots a batch within a few minutes of
+			// each other — the near-identical boot times that cause false
+			// positives at coarse rounding precisions (Fig. 4, right end).
+			b := batches[rng.Intn(nBatches)]
+			back = b + rng.Normal(0, float64(8*time.Minute))
+			if back < float64(time.Hour) {
+				back = float64(time.Hour) + rng.Range(0, float64(time.Hour))
+			}
+		} else {
+			back = rng.Range(float64(time.Hour), age)
+		}
+		out[i] = start.Add(-time.Duration(back))
+	}
+	return out
+}
+
+// ID returns the host's simulator-internal identity (ground truth for
+// experiment scoring only).
+func (h *Host) ID() HostID { return h.id }
+
+// Model returns the host CPU model. It also satisfies sandbox.HostEnv.
+func (h *Host) Model() cpu.Model { return h.model }
+
+// Counter returns the host TSC (sandbox.HostEnv).
+func (h *Host) Counter() tsc.Counter { return h.counter }
+
+// Noise returns the host's measurement-noise profile (sandbox.HostEnv).
+func (h *Host) Noise() tsc.NoiseProfile { return h.noise }
+
+// RefinedTSCHz returns the kernel-refined TSC frequency (sandbox.HostEnv).
+func (h *Host) RefinedTSCHz() float64 { return h.refinedHz }
+
+// NoiseRNG returns the host's noise stream (sandbox.HostEnv).
+func (h *Host) NoiseRNG() *randx.Source { return h.noiseRNG }
+
+// Mitigations returns the region's TSC defenses (sandbox.HostEnv).
+func (h *Host) Mitigations() sandbox.Mitigations { return h.dc.profile.Mitigations }
+
+// Now returns the current virtual time (sandbox.HostEnv).
+func (h *Host) Now() simtime.Time { return h.dc.platform.sched.Now() }
+
+// BootTime returns the host's true boot instant (ground truth).
+func (h *Host) BootTime() simtime.Time { return h.counter.Boot }
+
+// ResidentCount returns how many non-terminated instances live on the host.
+func (h *Host) ResidentCount() int { return len(h.instances) }
+
+// residentOf counts non-terminated instances of one service on the host.
+func (h *Host) residentOf(svc *Service) int {
+	n := 0
+	for inst := range h.instances {
+		if inst.service == svc {
+			n++
+		}
+	}
+	return n
+}
+
+// attach registers an instance on the host.
+func (h *Host) attach(inst *Instance) { h.instances[inst] = struct{}{} }
+
+// detach removes an instance from the host.
+func (h *Host) detach(inst *Instance) { delete(h.instances, inst) }

@@ -1,0 +1,173 @@
+package faas
+
+import (
+	"fmt"
+	"time"
+
+	"eaao/internal/sandbox"
+	"eaao/internal/simtime"
+)
+
+// InstanceState is the lifecycle state of a container instance.
+type InstanceState int
+
+const (
+	// StateActive means the instance is serving a connection and billing.
+	StateActive InstanceState = iota
+	// StateIdle means the instance has no connection; it is preserved for a
+	// while (and may be reused warm) before the orchestrator terminates it.
+	StateIdle
+	// StateTerminated means the instance received SIGTERM and is gone.
+	StateTerminated
+)
+
+// String returns "active", "idle", or "terminated".
+func (s InstanceState) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StateIdle:
+		return "idle"
+	case StateTerminated:
+		return "terminated"
+	default:
+		return "unknown"
+	}
+}
+
+// Instance is one container instance of a service.
+type Instance struct {
+	id      string
+	service *Service
+	host    *Host
+	guest   *sandbox.Guest
+	state   InstanceState
+
+	createdAt simtime.Time
+	// readyAt is when the container finished starting and can serve its
+	// first request: creation plus sandbox startup (fast for Gen 1 Linux
+	// containers, slower for Gen 2 VMs, §2.3) plus an image pull when the
+	// host had never run the service.
+	readyAt   simtime.Time
+	idleSince simtime.Time
+	// termAt is the scheduled termination instant while idle; the idle
+	// reaper checks that the instance is still idle and still due.
+	termAt simtime.Time
+	// activeSince tracks the start of the current billing span.
+	activeSince simtime.Time
+
+	// sigterm, if set, is invoked when the orchestrator terminates the
+	// instance (the paper's Fig. 6 setup traps SIGTERM and reports the
+	// time to an external collector).
+	sigterm func(*Instance, simtime.Time)
+
+	// pressuring marks the instance as currently loading the host RNG
+	// during a covert-channel round.
+	pressuring bool
+
+	// workload, when set, reports whether the instance's program is
+	// actively executing (pressuring shared resources) at a given instant;
+	// used by the extraction demonstrator.
+	workload func(simtime.Time) bool
+	// cacheFootprint lists the LLC set groups the program touches while
+	// executing.
+	cacheFootprint []int
+}
+
+// ID returns the platform-assigned instance identity (visible to the tenant,
+// like a Cloud Run instance ID; it reveals nothing about the host).
+func (i *Instance) ID() string { return i.id }
+
+// Service returns the service this instance belongs to.
+func (i *Instance) Service() *Service { return i.service }
+
+// State returns the lifecycle state.
+func (i *Instance) State() InstanceState { return i.state }
+
+// CreatedAt returns when the instance was created.
+func (i *Instance) CreatedAt() simtime.Time { return i.createdAt }
+
+// ReadyAt returns when the instance finished its cold start and could serve
+// its first request.
+func (i *Instance) ReadyAt() simtime.Time { return i.readyAt }
+
+// StartupLatency returns the instance's cold-start duration.
+func (i *Instance) StartupLatency() time.Duration { return i.readyAt.Sub(i.createdAt) }
+
+// Guest returns the sandboxed execution environment inside the instance.
+// Attack code runs against this handle only. It returns an error if the
+// instance has been terminated.
+func (i *Instance) Guest() (*sandbox.Guest, error) {
+	if i.state == StateTerminated {
+		return nil, fmt.Errorf("faas: instance %s is terminated", i.id)
+	}
+	return i.guest, nil
+}
+
+// MustGuest is Guest for call sites that have just launched the instance and
+// hold the platform single-threaded; it panics on a terminated instance.
+func (i *Instance) MustGuest() *sandbox.Guest {
+	g, err := i.Guest()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// OnSIGTERM registers a callback invoked with the termination time when the
+// orchestrator kills the instance. Registering replaces any prior callback.
+func (i *Instance) OnSIGTERM(fn func(*Instance, simtime.Time)) { i.sigterm = fn }
+
+// SetWorkload installs the victim-side activity model of an instance: fn
+// reports whether the program is executing (and therefore pressuring the
+// shared hardware resource) at a given instant. A nil fn clears it. This is
+// the secret-dependent execution the threat model's extraction step spies
+// on: the attacker never calls this — it can only observe contention.
+func (i *Instance) SetWorkload(fn func(simtime.Time) bool) { i.workload = fn }
+
+// HostID exposes the ground-truth host for experiment scoring. Real attackers
+// have no such API; experiment code uses it only to validate fingerprints, in
+// the role the covert-channel ground truth plays in the paper.
+func (i *Instance) HostID() (HostID, bool) {
+	if i.host == nil {
+		return 0, false
+	}
+	return i.host.id, true
+}
+
+// terminate transitions the instance to StateTerminated, detaches it from
+// its host, accrues final billing, and fires the SIGTERM callback.
+func (i *Instance) terminate(now simtime.Time) {
+	if i.state == StateTerminated {
+		return
+	}
+	if i.state == StateActive {
+		i.service.account.accrue(i, i.activeSince, now)
+	}
+	i.state = StateTerminated
+	i.host.detach(i)
+	i.service.removeInstance(i)
+	if i.sigterm != nil {
+		i.sigterm(i, now)
+	}
+}
+
+// goIdle transitions an active instance to idle and accrues billing for the
+// active span.
+func (i *Instance) goIdle(now simtime.Time) {
+	if i.state != StateActive {
+		return
+	}
+	i.service.account.accrue(i, i.activeSince, now)
+	i.state = StateIdle
+	i.idleSince = now
+}
+
+// activate transitions an idle instance back to active (warm reuse).
+func (i *Instance) activate(now simtime.Time) {
+	if i.state != StateIdle {
+		return
+	}
+	i.state = StateActive
+	i.activeSince = now
+}

@@ -1,0 +1,292 @@
+package faas
+
+import (
+	"fmt"
+	"time"
+
+	"eaao/internal/randx"
+	"eaao/internal/simtime"
+)
+
+// Platform is the top-level simulated cloud: a shared virtual clock plus one
+// or more data centers. All mutation happens on the single simulator thread;
+// Platform is not safe for concurrent use (by design, for determinism).
+type Platform struct {
+	sched   *simtime.Scheduler
+	rng     *randx.Source
+	regions map[Region]*DataCenter
+	order   []Region
+}
+
+// NewPlatform builds a platform with the given root seed and region profiles.
+// The same seed and profiles always produce an identical virtual world.
+func NewPlatform(seed uint64, profiles ...RegionProfile) (*Platform, error) {
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("faas: platform needs at least one region profile")
+	}
+	p := &Platform{
+		sched:   simtime.NewScheduler(0),
+		rng:     randx.New(seed),
+		regions: make(map[Region]*DataCenter, len(profiles)),
+	}
+	for _, prof := range profiles {
+		if err := prof.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := p.regions[prof.Name]; dup {
+			return nil, fmt.Errorf("faas: duplicate region %s", prof.Name)
+		}
+		dc := newDataCenter(p, prof)
+		p.regions[prof.Name] = dc
+		p.order = append(p.order, prof.Name)
+	}
+	return p, nil
+}
+
+// MustPlatform is NewPlatform, panicking on error; for tests and examples
+// with static, known-good configurations.
+func MustPlatform(seed uint64, profiles ...RegionProfile) *Platform {
+	p, err := NewPlatform(seed, profiles...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Scheduler returns the platform's virtual clock. Callers advance time
+// through it (e.g. to wait out launch intervals).
+func (p *Platform) Scheduler() *simtime.Scheduler { return p.sched }
+
+// Now returns the current virtual time.
+func (p *Platform) Now() simtime.Time { return p.sched.Now() }
+
+// Region returns the data center with the given name.
+func (p *Platform) Region(r Region) (*DataCenter, error) {
+	dc, ok := p.regions[r]
+	if !ok {
+		return nil, fmt.Errorf("faas: unknown region %s", r)
+	}
+	return dc, nil
+}
+
+// MustRegion is Region, panicking on an unknown name.
+func (p *Platform) MustRegion(r Region) *DataCenter {
+	dc, err := p.Region(r)
+	if err != nil {
+		panic(err)
+	}
+	return dc
+}
+
+// Regions lists the configured regions in creation order.
+func (p *Platform) Regions() []Region { return append([]Region(nil), p.order...) }
+
+// DataCenter is one simulated region.
+type DataCenter struct {
+	platform *Platform
+	profile  RegionProfile
+	rng      *randx.Source
+	hosts    []*Host
+	accounts map[string]*Account
+	acctSeq  []string // creation order, for deterministic iteration
+	nextInst int
+}
+
+func newDataCenter(p *Platform, prof RegionProfile) *DataCenter {
+	dc := &DataCenter{
+		platform: p,
+		profile:  prof,
+		rng:      p.rng.Derive("dc", string(prof.Name)),
+		accounts: make(map[string]*Account),
+	}
+	boots := sampleBootTimes(dc.rng.Derive("boots"), prof, p.sched.Now())
+	dc.hosts = make([]*Host, prof.NumHosts)
+	for i := range dc.hosts {
+		dc.hosts[i] = newHost(dc, i, boots)
+	}
+	dc.scheduleChurnSweep()
+	return dc
+}
+
+// Profile returns the region profile the data center was built from.
+func (dc *DataCenter) Profile() RegionProfile { return dc.profile }
+
+// Scheduler returns the platform's virtual clock.
+func (dc *DataCenter) Scheduler() *simtime.Scheduler { return dc.platform.sched }
+
+// Now returns the current virtual time.
+func (dc *DataCenter) Now() simtime.Time { return dc.platform.sched.Now() }
+
+// Region returns the data center's name.
+func (dc *DataCenter) Region() Region { return dc.profile.Name }
+
+// TrueHostCount returns the real fleet size (ground truth; the paper can
+// only ever estimate a lower bound for it).
+func (dc *DataCenter) TrueHostCount() int { return len(dc.hosts) }
+
+// Account returns the account with the given identity, creating it on first
+// use. Account identity determines base-host assignment deterministically.
+func (dc *DataCenter) Account(id string) *Account {
+	if a, ok := dc.accounts[id]; ok {
+		return a
+	}
+	a := newAccount(dc, id)
+	dc.accounts[id] = a
+	dc.acctSeq = append(dc.acctSeq, id)
+	return a
+}
+
+// nextInstanceID mints a platform-unique instance identity.
+func (dc *DataCenter) nextInstanceID(svc *Service) string {
+	dc.nextInst++
+	return fmt.Sprintf("%s/%s-%06d", svc.account.id, svc.name, dc.nextInst)
+}
+
+// scheduleChurnSweep installs the hourly instance-recycling sweep that
+// models the platform occasionally moving long-running instances (it is what
+// truncates fingerprint histories in the week-long Fig. 5 measurement).
+func (dc *DataCenter) scheduleChurnSweep() {
+	if dc.profile.InstanceChurnPerHour <= 0 {
+		return
+	}
+	churnRNG := dc.rng.Derive("churn")
+	var sweep func(simtime.Time)
+	sweep = func(now simtime.Time) {
+		for _, id := range dc.acctSeq {
+			acct := dc.accounts[id]
+			for _, svc := range acct.svcSeq {
+				svc := acct.services[svc]
+				// Collect first: recycling mutates the instance list.
+				var victims []*Instance
+				for _, inst := range svc.insts {
+					if inst.state == StateActive && churnRNG.Bool(dc.profile.InstanceChurnPerHour) {
+						victims = append(victims, inst)
+					}
+				}
+				for _, inst := range victims {
+					svc.recycle(inst, now)
+				}
+			}
+		}
+		dc.platform.sched.After(time.Hour, sweep)
+	}
+	dc.platform.sched.After(time.Hour, sweep)
+}
+
+// ProbeContention is the extraction-step primitive: the probing instance
+// measures the instantaneous contention on its host's shared resource. The
+// result counts co-resident instances whose workload is executing right now,
+// plus occasional background activity — the signal a co-located attacker
+// uses to detect when a victim program runs (threat model step 2).
+func ProbeContention(prober *Instance) (int, error) {
+	if prober.state == StateTerminated {
+		return 0, fmt.Errorf("faas: probe from terminated instance %s", prober.id)
+	}
+	h := prober.host
+	now := h.dc.platform.sched.Now()
+	units := 0
+	for inst := range h.instances {
+		if inst == prober {
+			continue
+		}
+		if inst.workload != nil && inst.workload(now) {
+			units++
+		}
+	}
+	if h.noiseRNG.Bool(0.008) {
+		units++
+	}
+	return units, nil
+}
+
+// Resource identifies a shared hardware resource usable as a covert
+// channel.
+type Resource int
+
+const (
+	// ResourceRNG is the hardware random number generator [27]: rarely used
+	// by anyone else, so background contention appears in well under 1% of
+	// rounds — the paper's low-noise channel of choice.
+	ResourceRNG Resource = iota
+	// ResourceMemBus is the memory bus [62], the channel earlier co-location
+	// studies used: strong signal, but ordinary tenant memory traffic makes
+	// background contention common, so tests need more rounds and higher
+	// vote thresholds (Varadarajan et al. report several seconds per
+	// pairwise test on it).
+	ResourceMemBus
+)
+
+// String names the resource.
+func (r Resource) String() string {
+	switch r {
+	case ResourceRNG:
+		return "rng"
+	case ResourceMemBus:
+		return "membus"
+	default:
+		return "resource?"
+	}
+}
+
+// backgroundProb returns the per-host, per-round probability of contention
+// from unrelated tenants on this resource.
+func (r Resource) backgroundProb() float64 {
+	switch r {
+	case ResourceMemBus:
+		return 0.18
+	default:
+		return 0.008
+	}
+}
+
+// ContentionRound executes one synchronized pressure round on the hardware
+// RNG among the given instances — the paper's default channel. See
+// ContentionRoundOn for the semantics.
+func ContentionRound(parts []*Instance) ([]int, error) {
+	return ContentionRoundOn(ResourceRNG, parts)
+}
+
+// ContentionRoundOn executes one synchronized pressure round on the given
+// shared resource: every live participant hammers it, then measures the
+// contention level it observes. The value returned for each participant is
+// the number of live participants resident on its host (including itself)
+// plus possible background activity from unrelated tenants (frequent on the
+// memory bus, <1% of rounds on the RNG, §4.4.1). Terminated instances
+// generate no pressure and observe nothing — from the attacker tooling's
+// perspective their connection is simply gone, so they always test negative.
+//
+// This is the primitive the covert channel builds CTest from. It is the only
+// cross-instance observable the platform exposes, mirroring the real
+// attacker's position.
+func ContentionRoundOn(res Resource, parts []*Instance) ([]int, error) {
+	if len(parts) == 0 {
+		return nil, nil
+	}
+	perHost := make(map[*Host]int, len(parts))
+	for _, inst := range parts {
+		if inst.state == StateTerminated {
+			continue
+		}
+		perHost[inst.host]++
+	}
+	// Background usage by unrelated tenants, decided once per host per
+	// round.
+	bgProb := res.backgroundProb()
+	background := make(map[*Host]int, len(perHost))
+	out := make([]int, len(parts))
+	for i, inst := range parts {
+		if inst.state == StateTerminated {
+			continue
+		}
+		h := inst.host
+		if _, done := background[h]; !done {
+			b := 0
+			if h.noiseRNG.Bool(bgProb) {
+				b = 1
+			}
+			background[h] = b
+		}
+		out[i] = perHost[h] + background[h]
+	}
+	return out, nil
+}

@@ -1,0 +1,426 @@
+package faas
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"eaao/internal/randx"
+	"eaao/internal/sandbox"
+	"eaao/internal/simtime"
+)
+
+// Service is one deployed function. Launching connections scales instances
+// out through the orchestrator; disconnecting idles them; idle instances are
+// reaped gradually.
+type Service struct {
+	account *Account
+	name    string
+	size    InstanceSize
+	gen     sandbox.Gen
+	rng     *randx.Source
+
+	// insts holds non-terminated instances in creation order.
+	insts []*Instance
+
+	// helperSet is the preference-ordered helper hosts this service can
+	// expand onto; helperActive is how many are currently unlocked by the
+	// demand streak.
+	helperSet    []*Host
+	helperActive int
+
+	hasLaunched bool
+	lastLaunch  simtime.Time
+	hotStreak   int
+
+	// Request-driven autoscaling (§2.2).
+	maxConcurrency int
+	demand         int
+	autoscaling    bool
+
+	// Image-locality accounting: hosts that have ever run this service,
+	// plus per-launch counts of image-cold hosts (hosts used by a launch
+	// that had never run the service — each costs an image pull and a slow
+	// start).
+	seenHosts       map[*Host]bool
+	coldLaunchHosts int
+	usedLaunchHosts int
+}
+
+func newService(a *Account, name string, cfg ServiceConfig) *Service {
+	rng := a.rng.Derive("service", name)
+	s := &Service{
+		account:        a,
+		name:           name,
+		size:           cfg.Size,
+		gen:            cfg.Gen,
+		rng:            rng,
+		maxConcurrency: cfg.MaxConcurrency,
+	}
+	s.seenHosts = make(map[*Host]bool)
+	s.helperSet = s.buildHelperSet(rng.Derive("helperset"))
+	return s
+}
+
+// ColdHostFraction reports, across all launches so far, the fraction of
+// per-launch host slots that were image-cold (the host had never run this
+// service before that launch). Affinity placement drives this toward zero
+// after the first launch; co-location-resistant random placement keeps it
+// high — the defense's operational cost.
+func (s *Service) ColdHostFraction() float64 {
+	if s.usedLaunchHosts == 0 {
+		return 0
+	}
+	return float64(s.coldLaunchHosts) / float64(s.usedLaunchHosts)
+}
+
+// buildHelperSet composes the service's helper hosts: mostly a draw from the
+// account-level helper pool (so same-account services overlap heavily),
+// plus a few fresh fleet-wide hosts interleaved throughout the expansion
+// order (so each new service's footprint grows the cumulative one, Fig. 10).
+func (s *Service) buildHelperSet(rng *randx.Source) []*Host {
+	p := s.account.dc.profile
+	fromAccount := noisyTopSample(rng, s.account.helpers, p.ServiceHelperSize, sigmaHelper, nil)
+	excl := make(map[*Host]bool, len(fromAccount))
+	for _, h := range fromAccount {
+		excl[h] = true
+	}
+	for _, h := range s.account.basePool {
+		excl[h] = true // base hosts are not helpers
+	}
+	fresh := noisyTopSample(rng, s.account.dc.hosts, p.ServiceHelperFresh, sigmaFresh, excl)
+
+	// Interleave fresh entries uniformly into the account-pool order.
+	out := make([]*Host, 0, len(fromAccount)+len(fresh))
+	out = append(out, fromAccount...)
+	for _, h := range fresh {
+		pos := rng.Intn(len(out) + 1)
+		out = append(out, nil)
+		copy(out[pos+1:], out[pos:])
+		out[pos] = h
+	}
+	return out
+}
+
+// Name returns the service name.
+func (s *Service) Name() string { return s.name }
+
+// Account returns the owning account.
+func (s *Service) Account() *Account { return s.account }
+
+// Size returns the container resource specification.
+func (s *Service) Size() InstanceSize { return s.size }
+
+// Gen returns the execution environment generation.
+func (s *Service) Gen() sandbox.Gen { return s.gen }
+
+// Instances returns the service's live (active or idle) instances in
+// creation order.
+func (s *Service) Instances() []*Instance {
+	return append([]*Instance(nil), s.insts...)
+}
+
+// ActiveInstances returns only the connected instances.
+func (s *Service) ActiveInstances() []*Instance {
+	var out []*Instance
+	for _, inst := range s.insts {
+		if inst.state == StateActive {
+			out = append(out, inst)
+		}
+	}
+	return out
+}
+
+// IdleCount returns the number of idle instances.
+func (s *Service) IdleCount() int {
+	n := 0
+	for _, inst := range s.insts {
+		if inst.state == StateIdle {
+			n++
+		}
+	}
+	return n
+}
+
+// Launch scales the service out to n concurrently connected instances
+// (modeling n held connections, e.g. WebSockets, with one connection per
+// instance as in the paper's setup). Idle instances are reused warm first;
+// the orchestrator places the remainder according to the demand-dependent
+// policy. It returns the n connected instances.
+func (s *Service) Launch(n int) ([]*Instance, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("faas: launch of %d instances", n)
+	}
+	p := s.account.dc.profile
+	if q := s.account.Quota(); n > q {
+		return nil, fmt.Errorf("faas: %d instances exceeds the per-service quota of %d",
+			n, q)
+	}
+	now := s.account.dc.platform.sched.Now()
+
+	// Demand bookkeeping: a launch arriving within the demand window of the
+	// previous one marks the service as increasingly hot; otherwise the
+	// service has gone cold.
+	if s.hasLaunched && now.Sub(s.lastLaunch) <= p.DemandWindow {
+		s.hotStreak++
+	} else {
+		s.hotStreak = 0
+		if p.DynamicPlacement {
+			s.account.resampleBasePool(p.DynamicResampleFrac)
+		}
+	}
+	s.hasLaunched = true
+	s.lastLaunch = now
+	s.account.bill.Launches++
+
+	// Unlock helper hosts proportionally to the streak, saturating after
+	// HelperSaturationLaunches hot launches (Obs. 5).
+	if s.hotStreak > 0 {
+		steps := s.hotStreak
+		if steps > p.HelperSaturationLaunches {
+			steps = p.HelperSaturationLaunches
+		}
+		unlocked := len(s.helperSet) * steps / p.HelperSaturationLaunches
+		if unlocked > s.helperActive {
+			s.helperActive = unlocked
+		}
+	} else {
+		s.helperActive = 0
+	}
+
+	// Reuse whatever is already running: active instances count as-is, idle
+	// ones are reconnected warm.
+	var connected []*Instance
+	for _, inst := range s.insts {
+		if len(connected) == n {
+			break
+		}
+		switch inst.state {
+		case StateActive:
+			connected = append(connected, inst)
+		case StateIdle:
+			inst.activate(now)
+			connected = append(connected, inst)
+		}
+	}
+
+	// Create the remainder through the placement policy.
+	need := n - len(connected)
+	if need > 0 {
+		created := s.placeNew(need, now)
+		connected = append(connected, created...)
+	}
+
+	// Image-locality accounting for this launch: which hosts serve it, and
+	// how many of them are running the service for the first time.
+	launchHosts := make(map[*Host]bool)
+	for _, inst := range connected {
+		launchHosts[inst.host] = true
+	}
+	s.usedLaunchHosts += len(launchHosts)
+	for h := range launchHosts {
+		if !s.seenHosts[h] {
+			s.seenHosts[h] = true
+			s.coldLaunchHosts++
+		}
+	}
+	return connected, nil
+}
+
+// placeNew creates count new instances, splitting them between helper hosts
+// (when demand has unlocked any) and the account's base hosts. Under the
+// co-location-resistant defense (RandomPlacement), all structure is ignored
+// and instances scatter uniformly.
+func (s *Service) placeNew(count int, now simtime.Time) []*Instance {
+	p := s.account.dc.profile
+
+	if p.RandomPlacement {
+		hostCount := (count + p.BasePerHostCap - 1) / p.BasePerHostCap
+		if hostCount > len(s.account.dc.hosts) {
+			hostCount = len(s.account.dc.hosts)
+		}
+		idx := s.rng.Sample(len(s.account.dc.hosts), hostCount)
+		hosts := make([]*Host, hostCount)
+		for i, j := range idx {
+			hosts[i] = s.account.dc.hosts[j]
+		}
+		return s.spread(hosts, count, now)
+	}
+
+	helperFrac := 0.0
+	if s.hotStreak > 0 {
+		steps := s.hotStreak
+		if steps > p.HelperSaturationLaunches {
+			steps = p.HelperSaturationLaunches
+		}
+		helperFrac = 0.3 * float64(steps)
+		if helperFrac > 0.85 {
+			helperFrac = 0.85
+		}
+	}
+	helperN := int(helperFrac * float64(count))
+
+	out := make([]*Instance, 0, count)
+
+	// Helper placement: thin spread across the entire unlocked helper
+	// window — the load balancer's goal is relieving the base hosts, so it
+	// spreads as wide as the window allows (at most HelperPerHostCap per
+	// host). Anything the unlocked helpers cannot absorb spills to base.
+	if helperN > 0 && s.helperActive > 0 {
+		active := s.helperSet[:s.helperActive]
+		placed := helperN
+		if capacity := len(active) * p.HelperPerHostCap; placed > capacity {
+			placed = capacity
+		}
+		out = append(out, s.spread(active, placed, now)...)
+	}
+
+	// Base placement: near-uniform packing (10–11 per host, Obs. 1) over a
+	// preference-weighted selection from the account's base pool.
+	baseN := count - len(out)
+	if baseN > 0 {
+		hostCount := (baseN + p.BasePerHostCap - 1) / p.BasePerHostCap
+		if hostCount > len(s.account.basePool) {
+			hostCount = len(s.account.basePool)
+		}
+		hosts := rankedBaseSelection(s.rng, s.account.basePool, hostCount)
+		out = append(out, s.spread(hosts, baseN, now)...)
+	}
+	return out
+}
+
+// rankedBaseSelection picks hostCount hosts from the preference-ordered base
+// pool by noisy rank: the front of the pool is used on virtually every
+// launch (so a tenant's repeated launches reuse the same hosts — the
+// stability the re-attack optimization banks on), while rank noise lets
+// repeated cold launches slowly explore the pool tail (Fig. 7's slight
+// cumulative growth).
+func rankedBaseSelection(rng *randx.Source, pool []*Host, hostCount int) []*Host {
+	if hostCount >= len(pool) {
+		return append([]*Host(nil), pool...)
+	}
+	const rankNoise = 3.0
+	type scored struct {
+		h     *Host
+		score float64
+	}
+	cand := make([]scored, len(pool))
+	for i, h := range pool {
+		cand[i] = scored{h: h, score: float64(i) + rng.Normal(0, rankNoise)}
+	}
+	sort.Slice(cand, func(i, j int) bool { return cand[i].score < cand[j].score })
+	out := make([]*Host, hostCount)
+	for i := range out {
+		out[i] = cand[i].h
+	}
+	return out
+}
+
+// spread distributes count new instances round-robin across hosts.
+func (s *Service) spread(hosts []*Host, count int, now simtime.Time) []*Instance {
+	out := make([]*Instance, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, s.createInstance(hosts[i%len(hosts)], now))
+	}
+	return out
+}
+
+// Container startup latencies (§2.3): Gen 1 Linux containers have "a small
+// resource footprint and fast start-up time"; Gen 2 VMs have "a large
+// resource footprint [and] longer start-up times". A host that has never run
+// the service additionally pulls the container image.
+const (
+	gen1StartupMedian = 180 * time.Millisecond
+	gen2StartupMedian = 1800 * time.Millisecond
+	imagePullMedian   = 4 * time.Second
+	startupSigma      = 0.35 // lognormal shape for all three
+)
+
+// startupLatency draws the cold-start duration of a new instance.
+func (s *Service) startupLatency(h *Host) time.Duration {
+	median := gen1StartupMedian
+	if s.gen == sandbox.Gen2 {
+		median = gen2StartupMedian
+	}
+	d := s.rng.LogNormal(logDur(median), startupSigma)
+	if !s.seenHosts[h] {
+		d += s.rng.LogNormal(logDur(imagePullMedian), startupSigma)
+	}
+	return time.Duration(d)
+}
+
+// logDur returns ln(d in nanoseconds) for lognormal medians.
+func logDur(d time.Duration) float64 { return math.Log(float64(d)) }
+
+// createInstance materializes a new active instance on the given host.
+func (s *Service) createInstance(h *Host, now simtime.Time) *Instance {
+	inst := &Instance{
+		id:          s.account.dc.nextInstanceID(s),
+		service:     s,
+		host:        h,
+		state:       StateActive,
+		createdAt:   now,
+		readyAt:     now.Add(s.startupLatency(h)),
+		activeSince: now,
+	}
+	inst.guest = sandbox.NewGuest(h, s.gen)
+	h.attach(inst)
+	s.insts = append(s.insts, inst)
+	s.account.bill.Instances++
+	return inst
+}
+
+// Disconnect closes all connections, idling every active instance. Idle
+// instances are preserved through the grace period and then terminated
+// gradually (Fig. 6), unless a later Launch reuses them warm.
+func (s *Service) Disconnect() {
+	now := s.account.dc.platform.sched.Now()
+	sched := s.account.dc.platform.sched
+	p := s.account.dc.profile
+	for _, inst := range s.insts {
+		if inst.state != StateActive {
+			continue
+		}
+		inst.goIdle(now)
+		// Uniform spread over (grace, grace+span]: matches the near-linear
+		// decay the paper measured.
+		delay := p.IdleGrace + time.Duration(s.rng.Range(0, float64(p.IdleTerminationSpan)))
+		at := now.Add(delay)
+		inst.termAt = at
+		inst := inst
+		sched.At(at, func(t simtime.Time) {
+			if inst.state == StateIdle && inst.termAt == at {
+				inst.terminate(t)
+			}
+		})
+	}
+}
+
+// TerminateAll immediately terminates every live instance of the service.
+func (s *Service) TerminateAll() {
+	now := s.account.dc.platform.sched.Now()
+	for _, inst := range append([]*Instance(nil), s.insts...) {
+		inst.terminate(now)
+	}
+}
+
+// recycle terminates one connected instance and immediately creates a
+// replacement elsewhere, keeping the connection count; models the platform
+// occasionally migrating long-running instances.
+func (s *Service) recycle(inst *Instance, now simtime.Time) {
+	inst.terminate(now)
+	hostCount := 1 + len(s.account.basePool)/8
+	hosts := rankedBaseSelection(s.rng.Derive("recycle", inst.id), s.account.basePool, hostCount)
+	s.createInstance(hosts[s.rng.Intn(len(hosts))], now)
+}
+
+// removeInstance drops a terminated instance from the service's list.
+func (s *Service) removeInstance(inst *Instance) {
+	for i, cur := range s.insts {
+		if cur == inst {
+			s.insts = append(s.insts[:i], s.insts[i+1:]...)
+			return
+		}
+	}
+}

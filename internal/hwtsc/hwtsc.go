@@ -1,0 +1,96 @@
+// Package hwtsc reads the real timestamp counter of the machine this code
+// runs on, demonstrating that the paper's measurement primitive is exactly
+// what an unprivileged program gets: on amd64 it executes RDTSC directly
+// (assembly, no kernel involvement); elsewhere it falls back to a
+// monotonic-clock synthetic counter so the same tooling still functions.
+//
+// cmd/hostinfo uses this package to produce a Gen 1-style fingerprint of the
+// local host: (CPU model if readable, boot time derived via Eq. 4.1 from
+// counter value + wall clock + measured frequency).
+package hwtsc
+
+import (
+	"errors"
+	"math"
+	"time"
+)
+
+// Supported reports whether a true hardware timestamp counter is available
+// on this platform (amd64).
+func Supported() bool { return supported }
+
+// Read returns the current hardware timestamp counter value (RDTSC on
+// amd64). On unsupported platforms it returns a monotonic-clock-derived
+// counter at a synthetic 1 GHz so downstream math still works.
+func Read() uint64 { return readTSC() }
+
+// ReadPaired returns a counter value together with the wall-clock instant it
+// was taken at — the (tsc, T_w) pair of Eq. 4.1. The counter is read first,
+// exactly as the paper's measurement does.
+func ReadPaired() (tsc uint64, wall time.Time) {
+	return readTSC(), time.Now()
+}
+
+// Measurement is an estimate of the local TSC frequency.
+type Measurement struct {
+	// Hz is the mean estimated frequency.
+	Hz float64
+	// StdHz is the standard deviation across repetitions.
+	StdHz float64
+	// Samples are the per-repetition estimates.
+	Samples []float64
+}
+
+// ErrBadInterval is returned for non-positive measurement intervals.
+var ErrBadInterval = errors.New("hwtsc: measurement interval must be positive")
+
+// MeasureFrequency estimates the local TSC frequency by the paper's
+// method 2: read the counter twice, interval apart (by the wall clock),
+// repeated reps times. It really sleeps, so reps×interval of real time
+// passes.
+func MeasureFrequency(interval time.Duration, reps int) (Measurement, error) {
+	if interval <= 0 {
+		return Measurement{}, ErrBadInterval
+	}
+	if reps <= 0 {
+		reps = 1
+	}
+	samples := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		t1, w1 := ReadPaired()
+		time.Sleep(interval)
+		t2, w2 := ReadPaired()
+		dw := w2.Sub(w1).Seconds()
+		if dw <= 0 {
+			continue
+		}
+		samples = append(samples, float64(t2-t1)/dw)
+	}
+	if len(samples) == 0 {
+		return Measurement{}, errors.New("hwtsc: all samples degenerate")
+	}
+	var sum float64
+	for _, s := range samples {
+		sum += s
+	}
+	mean := sum / float64(len(samples))
+	var ss float64
+	for _, s := range samples {
+		d := s - mean
+		ss += d * d
+	}
+	std := 0.0
+	if len(samples) > 1 {
+		std = math.Sqrt(ss / float64(len(samples)))
+	}
+	return Measurement{Hz: mean, StdHz: std, Samples: samples}, nil
+}
+
+// BootTime derives the host (or VM) boot time via Eq. 4.1 from a counter
+// reading and a frequency estimate. With TSC offsetting (inside a VM) this
+// yields the VM's boot time instead of the host's — exactly the Gen 2
+// limitation the paper describes.
+func BootTime(tsc uint64, wall time.Time, hz float64) time.Time {
+	uptime := time.Duration(float64(tsc) / hz * float64(time.Second))
+	return wall.Add(-uptime)
+}

@@ -1,0 +1,91 @@
+package hwtsc
+
+import (
+	"testing"
+	"time"
+)
+
+func TestReadMonotone(t *testing.T) {
+	a := Read()
+	// Burn a little time so even a coarse fallback counter advances.
+	time.Sleep(time.Millisecond)
+	b := Read()
+	if b <= a {
+		t.Errorf("counter did not advance: %d then %d", a, b)
+	}
+}
+
+func TestReadPairedOrdering(t *testing.T) {
+	tsc1, w1 := ReadPaired()
+	time.Sleep(time.Millisecond)
+	tsc2, w2 := ReadPaired()
+	if tsc2 <= tsc1 {
+		t.Error("tsc not monotone across paired reads")
+	}
+	if !w2.After(w1) {
+		t.Error("wall clock not monotone")
+	}
+}
+
+func TestMeasureFrequencyPlausible(t *testing.T) {
+	m, err := MeasureFrequency(20*time.Millisecond, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any real TSC ticks between 0.5 and 6 GHz; the fallback counter is
+	// exactly 1 GHz.
+	if m.Hz < 0.4e9 || m.Hz > 6.5e9 {
+		t.Errorf("measured frequency %v Hz implausible", m.Hz)
+	}
+	if len(m.Samples) == 0 {
+		t.Error("no samples")
+	}
+}
+
+func TestMeasureFrequencyBadArgs(t *testing.T) {
+	if _, err := MeasureFrequency(0, 3); err == nil {
+		t.Error("zero interval accepted")
+	}
+	// Non-positive reps are clamped, not an error.
+	if _, err := MeasureFrequency(time.Millisecond, 0); err != nil {
+		t.Errorf("clamped reps errored: %v", err)
+	}
+}
+
+func TestBootTimeInThePast(t *testing.T) {
+	m, err := MeasureFrequency(20*time.Millisecond, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsc, wall := ReadPaired()
+	boot := BootTime(tsc, wall, m.Hz)
+	if !boot.Before(wall) {
+		t.Errorf("derived boot time %v not before now %v", boot, wall)
+	}
+	// Uptime below 10 years is a sanity bound.
+	if wall.Sub(boot) > 10*365*24*time.Hour {
+		t.Errorf("derived uptime %v implausible", wall.Sub(boot))
+	}
+}
+
+func TestBootTimeStableAcrossReads(t *testing.T) {
+	// Two paired reads moments apart must derive (nearly) the same boot
+	// time: the invariant-TSC property the Gen 1 fingerprint rests on.
+	m, err := MeasureFrequency(50*time.Millisecond, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsc1, w1 := ReadPaired()
+	time.Sleep(30 * time.Millisecond)
+	tsc2, w2 := ReadPaired()
+	b1 := BootTime(tsc1, w1, m.Hz)
+	b2 := BootTime(tsc2, w2, m.Hz)
+	diff := b2.Sub(b1)
+	if diff < 0 {
+		diff = -diff
+	}
+	// Allow generous slack: frequency error of 1e-4 over days of uptime.
+	if diff > time.Minute {
+		t.Errorf("derived boot times differ by %v", diff)
+	}
+}

@@ -1,0 +1,10 @@
+//go:build amd64
+
+package hwtsc
+
+const supported = true
+
+//go:noescape
+func rdtsc() uint64
+
+func readTSC() uint64 { return rdtsc() }

@@ -1,0 +1,13 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func rdtsc() uint64
+// Serializing with LFENCE is unnecessary for fingerprinting use; raw RDTSC
+// matches what the paper's unprivileged measurement executes.
+TEXT ·rdtsc(SB), NOSPLIT, $0-8
+	RDTSC
+	SHLQ	$32, DX
+	ORQ	DX, AX
+	MOVQ	AX, ret+0(FP)
+	RET

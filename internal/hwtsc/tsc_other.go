@@ -1,0 +1,14 @@
+//go:build !amd64
+
+package hwtsc
+
+import "time"
+
+const supported = false
+
+// start anchors the synthetic counter; a process-relative counter is the
+// best a platform without an architectural TSC can do.
+var start = time.Now()
+
+// readTSC synthesizes a 1 GHz counter from the monotonic clock.
+func readTSC() uint64 { return uint64(time.Since(start)) }

@@ -1,0 +1,50 @@
+// Package pricing implements the Cloud Run billing model the paper uses to
+// cost attacks and verification campaigns (§4.3, §5.2):
+//
+//	cost = N × t × (R_cpu × vCPU + R_mem × memoryGB)
+//
+// where N×t is accumulated active instance time. At the time of the paper's
+// writing, R_cpu = ¢0.0024 per vCPU-second and R_mem = ¢0.00025 per
+// GB-second in us-east1, us-central1, and us-west1. Idle instances bill
+// nothing (which is why the optimized launching strategy is so cheap: the
+// attacker disconnects between launches).
+package pricing
+
+import "fmt"
+
+// Rates are the per-resource prices in USD.
+type Rates struct {
+	// CPUPerVCPUSecond is the price of one vCPU-second.
+	CPUPerVCPUSecond float64
+	// MemPerGBSecond is the price of one GB-second.
+	MemPerGBSecond float64
+}
+
+// CloudRunRates returns the published rates for the three studied regions
+// (identical in all three): ¢0.0024/vCPU-s and ¢0.00025/GB-s.
+func CloudRunRates() Rates {
+	return Rates{
+		CPUPerVCPUSecond: 0.0024 / 100,
+		MemPerGBSecond:   0.00025 / 100,
+	}
+}
+
+// Cost returns the price in USD of the given accumulated usage.
+func (r Rates) Cost(vcpuSeconds, gbSeconds float64) float64 {
+	return vcpuSeconds*r.CPUPerVCPUSecond + gbSeconds*r.MemPerGBSecond
+}
+
+// InstanceSecondCost returns the price of keeping one instance with the
+// given shape active for one second.
+func (r Rates) InstanceSecondCost(vcpu, memoryGB float64) float64 {
+	return r.Cost(vcpu, memoryGB)
+}
+
+// CampaignCost prices a campaign of n instances of the given shape active
+// for t seconds each (the paper's N × t × (R_cpu + 0.5 R_mem) for Small).
+func (r Rates) CampaignCost(n int, activeSeconds, vcpu, memoryGB float64) float64 {
+	return float64(n) * activeSeconds * r.InstanceSecondCost(vcpu, memoryGB)
+}
+
+// USD formats an amount as dollars with cents.
+func USD(amount float64) string { return fmt.Sprintf("$%.2f", amount) }

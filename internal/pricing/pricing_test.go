@@ -1,0 +1,71 @@
+package pricing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCloudRunRates(t *testing.T) {
+	r := CloudRunRates()
+	if r.CPUPerVCPUSecond != 0.000024 {
+		t.Errorf("CPU rate = %v, want $0.000024/vCPU-s", r.CPUPerVCPUSecond)
+	}
+	if r.MemPerGBSecond != 0.0000025 {
+		t.Errorf("memory rate = %v, want $0.0000025/GB-s", r.MemPerGBSecond)
+	}
+}
+
+func TestPaperPairwiseCostEstimate(t *testing.T) {
+	// §4.3: 319,600 pairwise tests at 100 ms each, 2 instances per test,
+	// Small shape (1 vCPU, 0.5 GB) — the paper estimates ~$645... The $645
+	// figure includes the full fleet of 800 instances being kept alive for
+	// the serialized 8.9 h duration:
+	// 800 instances × 31,960 s × (R_cpu + 0.5 R_mem).
+	r := CloudRunRates()
+	serializedSeconds := 319_600.0 * 0.1
+	cost := r.CampaignCost(800, serializedSeconds, 1, 0.5)
+	if cost < 550 || cost > 750 {
+		t.Errorf("pairwise verification cost = %v, paper says ~$645", cost)
+	}
+}
+
+func TestPaperScalableCostEstimate(t *testing.T) {
+	// "our approach only takes about 1 to 2 minutes to validate all 800
+	// instances" and costs $1–3.
+	r := CloudRunRates()
+	for _, secs := range []float64{60, 120} {
+		cost := r.CampaignCost(800, secs, 1, 0.5)
+		if cost < 0.5 || cost > 3.5 {
+			t.Errorf("scalable verification cost at %vs = %v, paper says $1–3", secs, cost)
+		}
+	}
+}
+
+func TestCostLinear(t *testing.T) {
+	r := CloudRunRates()
+	a := r.CampaignCost(10, 100, 1, 0.5)
+	b := r.CampaignCost(20, 100, 1, 0.5)
+	if math.Abs(b-2*a) > 1e-12 {
+		t.Error("cost not linear in instance count")
+	}
+	c := r.CampaignCost(10, 200, 1, 0.5)
+	if math.Abs(c-2*a) > 1e-12 {
+		t.Error("cost not linear in time")
+	}
+}
+
+func TestUSDFormat(t *testing.T) {
+	if USD(23.456) != "$23.46" {
+		t.Errorf("USD = %q", USD(23.456))
+	}
+	if USD(0) != "$0.00" {
+		t.Errorf("USD zero = %q", USD(0))
+	}
+}
+
+func TestZeroRates(t *testing.T) {
+	var r Rates
+	if r.Cost(100, 100) != 0 {
+		t.Error("zero rates should cost nothing")
+	}
+}

@@ -1,0 +1,169 @@
+// Package randx provides deterministic random-number utilities used across
+// the simulator. Every stochastic component of the simulation draws from a
+// Source that is either seeded directly or derived from a parent seed plus a
+// string label, so that an entire experiment is reproducible from a single
+// root seed while sub-systems (hosts, services, accounts) remain statistically
+// independent of each other.
+package randx
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// Source is a deterministic random source. It wraps math/rand with the
+// distribution helpers the simulator needs (normal, laplace, exponential,
+// bounded ints, shuffles) and with stable sub-stream derivation.
+type Source struct {
+	rng  *rand.Rand
+	seed uint64
+}
+
+// New returns a Source seeded with the given seed.
+func New(seed uint64) *Source {
+	return &Source{
+		rng:  rand.New(rand.NewSource(int64(seed))),
+		seed: seed,
+	}
+}
+
+// Derive returns a new Source whose seed is a stable hash of the parent seed
+// and the given labels. Deriving with the same labels always yields the same
+// stream; different labels yield independent streams. Derive does not consume
+// randomness from the parent.
+func (s *Source) Derive(labels ...string) *Source {
+	h := fnv.New64a()
+	var buf [8]byte
+	putUint64(buf[:], s.seed)
+	h.Write(buf[:])
+	for _, l := range labels {
+		h.Write([]byte{0}) // separator so ("ab","c") != ("a","bc")
+		h.Write([]byte(l))
+	}
+	return New(h.Sum64())
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// Seed reports the seed this source was created with.
+func (s *Source) Seed() uint64 { return s.seed }
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 { return s.rng.Float64() }
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int { return s.rng.Intn(n) }
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (s *Source) Int63n(n int64) int64 { return s.rng.Int63n(n) }
+
+// Uint64 returns a uniform 64-bit value.
+func (s *Source) Uint64() uint64 { return s.rng.Uint64() }
+
+// Range returns a uniform float64 in [lo, hi).
+func (s *Source) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.rng.Float64()
+}
+
+// IntRange returns a uniform int in [lo, hi]. It panics if hi < lo.
+func (s *Source) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("randx: IntRange with hi < lo")
+	}
+	return lo + s.rng.Intn(hi-lo+1)
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool { return s.rng.Float64() < p }
+
+// Normal returns a draw from N(mean, stddev²).
+func (s *Source) Normal(mean, stddev float64) float64 {
+	return mean + stddev*s.rng.NormFloat64()
+}
+
+// Laplace returns a draw from the Laplace distribution with the given mean
+// and scale b (variance 2b²). Laplace has heavier tails than the normal
+// distribution and models per-host TSC frequency error well: most hosts are
+// close to nominal, a few deviate a lot.
+func (s *Source) Laplace(mean, b float64) float64 {
+	u := s.rng.Float64() - 0.5
+	if u >= 0 {
+		return mean - b*math.Log(1-2*u)
+	}
+	return mean + b*math.Log(1+2*u)
+}
+
+// Exponential returns a draw from Exp(rate); mean is 1/rate.
+func (s *Source) Exponential(rate float64) float64 {
+	return s.rng.ExpFloat64() / rate
+}
+
+// LogNormal returns exp(N(mu, sigma²)).
+func (s *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(s.Normal(mu, sigma))
+}
+
+// Shuffle pseudo-randomly permutes n elements using the provided swap
+// function.
+func (s *Source) Shuffle(n int, swap func(i, j int)) { s.rng.Shuffle(n, swap) }
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (s *Source) Perm(n int) []int { return s.rng.Perm(n) }
+
+// Sample returns k distinct values drawn uniformly from [0, n) in random
+// order. It panics if k > n or k < 0.
+func (s *Source) Sample(n, k int) []int {
+	if k < 0 || k > n {
+		panic("randx: Sample with k out of range")
+	}
+	// Partial Fisher-Yates: only the first k slots are needed.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + s.rng.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k]
+}
+
+// WeightedIndex returns an index in [0, len(weights)) with probability
+// proportional to weights[i]. Zero-weight entries are never chosen. It panics
+// if weights is empty, contains a negative value, or sums to zero.
+func (s *Source) WeightedIndex(weights []float64) int {
+	if len(weights) == 0 {
+		panic("randx: WeightedIndex with no weights")
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("randx: WeightedIndex with negative weight")
+		}
+		total += w
+	}
+	if total == 0 {
+		panic("randx: WeightedIndex with zero total weight")
+	}
+	target := s.rng.Float64() * total
+	var acc float64
+	for i, w := range weights {
+		acc += w
+		if target < acc {
+			return i
+		}
+	}
+	// Floating-point accumulation can leave target marginally above acc;
+	// return the last positive-weight index.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

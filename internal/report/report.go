@@ -1,0 +1,235 @@
+// Package report renders experiment results as aligned text tables, CSV,
+// and compact ASCII sparkline charts — the textual equivalents of the
+// paper's figures, printed by the eaao CLI and the benchmark harness.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v. The row is padded or
+// truncated to the header width.
+func (t *Table) AddRow(values ...any) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(values) {
+			row[i] = formatCell(values[i])
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatCell(v any) string {
+	switch x := v.(type) {
+	case float64:
+		switch {
+		case x == math.Trunc(x) && math.Abs(x) < 1e9:
+			return fmt.Sprintf("%.0f", x)
+		case math.Abs(x) >= 0.01 || x == 0:
+			return fmt.Sprintf("%.4g", x)
+		default:
+			return fmt.Sprintf("%.3e", x)
+		}
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// MarshalJSON serializes the table with its rows (which are unexported).
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Title   string     `json:"title,omitempty"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}{t.Title, t.Headers, t.rows})
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (headers first). Cells
+// containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteString(`"` + strings.ReplaceAll(cell, `"`, `""`) + `"`)
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// sparkLevels are the eight block characters used for sparklines.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders ys as a compact unicode chart, scaled to [min, max] of
+// the data. An empty series renders as an empty string.
+func Sparkline(ys []float64) string {
+	if len(ys) == 0 {
+		return ""
+	}
+	lo, hi := ys[0], ys[0]
+	for _, y := range ys[1:] {
+		if y < lo {
+			lo = y
+		}
+		if y > hi {
+			hi = y
+		}
+	}
+	var b strings.Builder
+	for _, y := range ys {
+		idx := 0
+		if hi > lo {
+			idx = int((y - lo) / (hi - lo) * float64(len(sparkLevels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkLevels) {
+			idx = len(sparkLevels) - 1
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+// Series is a named (x, y) sequence: one line of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a set of series plus axis labels — the data behind one paper
+// figure.
+type Figure struct {
+	ID     string // e.g. "fig4"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// AddSeries appends a series to the figure.
+func (f *Figure) AddSeries(name string, x, y []float64) {
+	f.Series = append(f.Series, Series{Name: name, X: x, Y: y})
+}
+
+// String renders the figure as a title, one sparkline per series, and a
+// data table.
+func (f *Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "  x: %s, y: %s\n", f.XLabel, f.YLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "  %-28s %s\n", s.Name, Sparkline(s.Y))
+	}
+	tbl := NewTable("", append([]string{f.XLabel}, seriesNames(f.Series)...)...)
+	for i := range maxLen(f.Series) {
+		row := make([]any, 0, len(f.Series)+1)
+		row = append(row, xAt(f.Series, i))
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				row = append(row, s.Y[i])
+			} else {
+				row = append(row, "")
+			}
+		}
+		tbl.AddRow(row...)
+	}
+	b.WriteString(tbl.String())
+	return b.String()
+}
+
+func seriesNames(ss []Series) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.Name
+	}
+	return out
+}
+
+func maxLen(ss []Series) int {
+	m := 0
+	for _, s := range ss {
+		if len(s.Y) > m {
+			m = len(s.Y)
+		}
+	}
+	return m
+}
+
+func xAt(ss []Series, i int) any {
+	for _, s := range ss {
+		if i < len(s.X) {
+			return s.X[i]
+		}
+	}
+	return ""
+}

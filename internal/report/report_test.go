@@ -1,0 +1,97 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Demo", "name", "value")
+	tbl.AddRow("alpha", 1.5)
+	tbl.AddRow("beta", 42)
+	out := tbl.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "alpha") {
+		t.Errorf("table output missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	if tbl.Rows() != 2 {
+		t.Errorf("Rows = %d", tbl.Rows())
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	tbl := NewTable("", "a", "b", "c")
+	tbl.AddRow("only-one")
+	out := tbl.String()
+	if !strings.Contains(out, "only-one") {
+		t.Error("short row dropped")
+	}
+}
+
+func TestFormatCell(t *testing.T) {
+	cases := []struct {
+		in   any
+		want string
+	}{
+		{42, "42"},
+		{float64(42), "42"},
+		{0.12345, "0.1235"},   // %.4g rounds
+		{1.0e-5, "1.000e-05"}, // tiny values use scientific
+		{"str", "str"},
+	}
+	for _, c := range cases {
+		if got := formatCell(c.in); got != c.want {
+			t.Errorf("formatCell(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tbl := NewTable("x", "h1", "h2")
+	tbl.AddRow("a,b", `say "hi"`)
+	csv := tbl.CSV()
+	if !strings.Contains(csv, `"a,b"`) {
+		t.Errorf("comma cell not quoted: %s", csv)
+	}
+	if !strings.Contains(csv, `"say ""hi"""`) {
+		t.Errorf("quote cell not escaped: %s", csv)
+	}
+	if !strings.HasPrefix(csv, "h1,h2\n") {
+		t.Errorf("missing header: %s", csv)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if s := Sparkline(nil); s != "" {
+		t.Errorf("empty sparkline = %q", s)
+	}
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Errorf("sparkline length = %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Errorf("sparkline endpoints wrong: %q", s)
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	for _, r := range flat {
+		if r != '▁' {
+			t.Errorf("flat series should render lowest level: %q", flat)
+		}
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	f := &Figure{ID: "figX", Title: "demo", XLabel: "x", YLabel: "y"}
+	f.AddSeries("s1", []float64{1, 2, 3}, []float64{10, 20, 30})
+	f.AddSeries("s2", []float64{1, 2}, []float64{5, 6})
+	out := f.String()
+	for _, want := range []string{"figX", "demo", "s1", "s2", "10", "30"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure output missing %q:\n%s", want, out)
+		}
+	}
+}

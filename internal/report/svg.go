@@ -1,0 +1,162 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// SVG renders the figure as a standalone SVG line chart (log-x optional),
+// suitable for regenerating the paper's figures as image files. The output
+// is self-contained: no scripts, no external fonts.
+func (f *Figure) SVG(width, height int, logX bool) string {
+	const (
+		marginL = 70
+		marginR = 20
+		marginT = 40
+		marginB = 55
+	)
+	if width <= marginL+marginR+20 {
+		width = 640
+	}
+	if height <= marginT+marginB+20 {
+		height = 360
+	}
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+
+	// Data extents across all series.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for i := range s.Y {
+			x := xVal(s, i, logX)
+			if !math.IsNaN(x) {
+				xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			}
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) { // no data
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// A little vertical headroom.
+	pad := (ymax - ymin) * 0.05
+	ymin -= pad
+	ymax += pad
+
+	px := func(x float64) float64 { return float64(marginL) + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return float64(marginT) + (1-(y-ymin)/(ymax-ymin))*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		width, height, width, height)
+	b.WriteString(`<style>text{font-family:sans-serif;font-size:12px;fill:#222}.t{font-size:14px;font-weight:bold}.ax{stroke:#444;stroke-width:1}.grid{stroke:#ddd;stroke-width:0.5}</style>`)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`, width, height)
+	fmt.Fprintf(&b, `<text class="t" x="%d" y="20">%s: %s</text>`, marginL, escape(f.ID), escape(f.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line class="ax" x1="%d" y1="%d" x2="%d" y2="%d"/>`,
+		marginL, height-marginB, width-marginR, height-marginB)
+	fmt.Fprintf(&b, `<line class="ax" x1="%d" y1="%d" x2="%d" y2="%d"/>`,
+		marginL, marginT, marginL, height-marginB)
+
+	// Ticks: 5 per axis, with light grid lines.
+	for i := 0; i <= 4; i++ {
+		fx := xmin + (xmax-xmin)*float64(i)/4
+		gx := px(fx)
+		fmt.Fprintf(&b, `<line class="grid" x1="%.1f" y1="%d" x2="%.1f" y2="%d"/>`,
+			gx, marginT, gx, height-marginB)
+		label := formatTick(fx)
+		if logX {
+			label = formatTick(math.Pow(10, fx))
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`,
+			gx, height-marginB+18, label)
+
+		fy := ymin + (ymax-ymin)*float64(i)/4
+		gy := py(fy)
+		fmt.Fprintf(&b, `<line class="grid" x1="%d" y1="%.1f" x2="%d" y2="%.1f"/>`,
+			marginL, gy, width-marginR, gy)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end">%s</text>`,
+			marginL-6, gy+4, formatTick(fy))
+	}
+	// Axis labels.
+	xl := f.XLabel
+	if logX {
+		xl += " (log)"
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`,
+		marginL+int(plotW/2), height-12, escape(xl))
+	fmt.Fprintf(&b, `<text x="14" y="%d" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`,
+		marginT+int(plotH/2), marginT+int(plotH/2), escape(f.YLabel))
+
+	// Series.
+	palette := []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+	for si, s := range f.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.Y {
+			x := xVal(s, i, logX)
+			if math.IsNaN(x) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(x), py(s.Y[i])))
+		}
+		if len(pts) > 0 {
+			fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.8" points="%s"/>`,
+				color, strings.Join(pts, " "))
+		}
+		// Legend entry.
+		ly := marginT + 4 + si*16
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="3"/>`,
+			width-marginR-150, ly, width-marginR-130, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`,
+			width-marginR-124, ly+4, escape(s.Name))
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// xVal returns the i-th x value of a series, in plot space (log10 when logX
+// is set; non-positive x values are dropped there).
+func xVal(s Series, i int, logX bool) float64 {
+	var x float64
+	if i < len(s.X) {
+		x = s.X[i]
+	} else {
+		x = float64(i)
+	}
+	if logX {
+		if x <= 0 {
+			return math.NaN()
+		}
+		return math.Log10(x)
+	}
+	return x
+}
+
+// formatTick renders a tick value compactly.
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e5 || (av < 1e-3 && av > 0):
+		return fmt.Sprintf("%.0e", v)
+	case av >= 100 || v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+// escape makes a string safe for SVG text content.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

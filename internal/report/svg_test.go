@@ -1,0 +1,84 @@
+package report
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func demoFigure() *Figure {
+	f := &Figure{ID: "figX", Title: "demo <chart>", XLabel: "x", YLabel: "y"}
+	f.AddSeries("alpha", []float64{1, 10, 100}, []float64{0.2, 0.8, 0.5})
+	f.AddSeries("beta", []float64{1, 10, 100}, []float64{0.9, 0.1, 0.4})
+	return f
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	for _, logX := range []bool{false, true} {
+		svg := demoFigure().SVG(640, 360, logX)
+		if err := xml.Unmarshal([]byte(svg), new(any)); err != nil {
+			t.Fatalf("logX=%v: SVG is not well-formed XML: %v", logX, err)
+		}
+		for _, want := range []string{"<svg", "polyline", "alpha", "beta", "figX"} {
+			if !strings.Contains(svg, want) {
+				t.Errorf("logX=%v: SVG missing %q", logX, want)
+			}
+		}
+		// The title's angle brackets must be escaped.
+		if strings.Contains(svg, "<chart>") {
+			t.Error("unescaped text content")
+		}
+	}
+}
+
+func TestSVGOneSeriesPerPolyline(t *testing.T) {
+	svg := demoFigure().SVG(640, 360, false)
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+}
+
+func TestSVGEmptyFigure(t *testing.T) {
+	f := &Figure{ID: "empty", Title: "no data", XLabel: "x", YLabel: "y"}
+	svg := f.SVG(640, 360, false)
+	if err := xml.Unmarshal([]byte(svg), new(any)); err != nil {
+		t.Fatalf("empty-figure SVG invalid: %v", err)
+	}
+}
+
+func TestSVGLogXDropsNonPositive(t *testing.T) {
+	f := &Figure{ID: "f", Title: "t", XLabel: "x", YLabel: "y"}
+	f.AddSeries("s", []float64{0, 1, 10}, []float64{1, 2, 3})
+	svg := f.SVG(640, 360, true)
+	// The x=0 point cannot appear on a log axis; polyline must still render
+	// with the remaining two points.
+	if !strings.Contains(svg, "<polyline") {
+		t.Error("no polyline despite valid points")
+	}
+}
+
+func TestSVGDefaultsOnTinyDimensions(t *testing.T) {
+	svg := demoFigure().SVG(10, 5, false)
+	if !strings.Contains(svg, `width="640"`) || !strings.Contains(svg, `height="360"`) {
+		t.Error("tiny dimensions not clamped to defaults")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{5, "5"},
+		{0.25, "0.25"},
+		{1234, "1234"},
+		{1e6, "1e+06"},
+		{0.0001, "1e-04"},
+	}
+	for _, c := range cases {
+		if got := formatTick(c.in); got != c.want {
+			t.Errorf("formatTick(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

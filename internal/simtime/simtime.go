@@ -1,0 +1,158 @@
+// Package simtime provides the virtual clock and discrete-event scheduler
+// that the FaaS platform simulator runs on. The paper's measurements span
+// hours (idle termination), days (fingerprint drift), and a full week
+// (expiration CDFs); virtual time lets the whole study run in milliseconds
+// while preserving every time-dependent behaviour.
+//
+// Time is an absolute instant on the virtual timeline, expressed in
+// nanoseconds since the simulation epoch. Durations use the standard
+// time.Duration so call sites read naturally (simtime moves the clock, the
+// stdlib describes spans).
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is an absolute virtual instant, in nanoseconds since Epoch.
+type Time int64
+
+// Epoch is the real-world anchor of virtual time zero. Its value only
+// matters for human-readable rendering of fingerprints and logs.
+var Epoch = time.Date(2023, time.June, 1, 0, 0, 0, 0, time.UTC)
+
+// Add returns t shifted by d.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Before reports whether t is earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is later than u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Seconds returns t as fractional seconds since Epoch.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Real converts t to a real-world time.Time anchored at Epoch.
+func (t Time) Real() time.Time { return Epoch.Add(time.Duration(t)) }
+
+// FromSeconds builds a Time from fractional seconds since Epoch.
+func FromSeconds(s float64) Time { return Time(s * 1e9) }
+
+// String renders t as the anchored wall-clock instant.
+func (t Time) String() string { return t.Real().Format(time.RFC3339Nano) }
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // insertion order; breaks ties deterministically
+	fn  func(Time)
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a deterministic discrete-event scheduler. Events scheduled for
+// the same instant fire in the order they were scheduled. Scheduler is not
+// safe for concurrent use; the simulator is single-threaded by design so runs
+// are reproducible.
+type Scheduler struct {
+	now    Time
+	nextID uint64
+	queue  eventHeap
+}
+
+// NewScheduler returns a scheduler positioned at the given start time.
+func NewScheduler(start Time) *Scheduler {
+	return &Scheduler{now: start}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// At schedules fn to run at the absolute time at. Scheduling in the past
+// panics: it always indicates a simulator bug, and silently reordering events
+// would destroy determinism.
+func (s *Scheduler) At(at Time, fn func(Time)) {
+	if at < s.now {
+		panic(fmt.Sprintf("simtime: scheduling event at %v before now %v", at, s.now))
+	}
+	s.nextID++
+	heap.Push(&s.queue, &event{at: at, seq: s.nextID, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (s *Scheduler) After(d time.Duration, fn func(Time)) {
+	if d < 0 {
+		panic("simtime: negative delay")
+	}
+	s.At(s.now.Add(d), fn)
+}
+
+// Pending reports the number of queued events.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Step runs the next event, advancing the clock to its deadline. It reports
+// whether an event was run.
+func (s *Scheduler) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*event)
+	s.now = e.at
+	e.fn(s.now)
+	return true
+}
+
+// RunUntil executes every event with deadline <= t (including events those
+// events schedule, as long as they also fall within t), then advances the
+// clock to exactly t.
+func (s *Scheduler) RunUntil(t Time) {
+	if t < s.now {
+		panic(fmt.Sprintf("simtime: RunUntil(%v) before now %v", t, s.now))
+	}
+	for len(s.queue) > 0 && s.queue[0].at <= t {
+		s.Step()
+	}
+	s.now = t
+}
+
+// Advance moves the clock forward by d, running due events along the way.
+func (s *Scheduler) Advance(d time.Duration) {
+	if d < 0 {
+		panic("simtime: negative advance")
+	}
+	s.RunUntil(s.now.Add(d))
+}
+
+// Drain runs events until the queue is empty or limit events have run,
+// returning the number of events executed. A limit of 0 means no limit.
+func (s *Scheduler) Drain(limit int) int {
+	ran := 0
+	for (limit == 0 || ran < limit) && s.Step() {
+		ran++
+	}
+	return ran
+}

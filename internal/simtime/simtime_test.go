@@ -1,0 +1,176 @@
+package simtime
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := FromSeconds(100)
+	t1 := t0.Add(2500 * time.Millisecond)
+	if got := t1.Seconds(); got != 102.5 {
+		t.Errorf("Add: got %v s, want 102.5", got)
+	}
+	if d := t1.Sub(t0); d != 2500*time.Millisecond {
+		t.Errorf("Sub: got %v", d)
+	}
+	if !t0.Before(t1) || !t1.After(t0) {
+		t.Error("Before/After inconsistent")
+	}
+}
+
+func TestRealAnchoredAtEpoch(t *testing.T) {
+	if got := Time(0).Real(); !got.Equal(Epoch) {
+		t.Errorf("Time(0).Real() = %v, want %v", got, Epoch)
+	}
+	if got := FromSeconds(3600).Real(); !got.Equal(Epoch.Add(time.Hour)) {
+		t.Errorf("1h conversion wrong: %v", got)
+	}
+}
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler(0)
+	var order []int
+	s.At(FromSeconds(3), func(Time) { order = append(order, 3) })
+	s.At(FromSeconds(1), func(Time) { order = append(order, 1) })
+	s.At(FromSeconds(2), func(Time) { order = append(order, 2) })
+	s.Drain(0)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran out of order: %v", order)
+	}
+}
+
+func TestSchedulerTieBreakInsertionOrder(t *testing.T) {
+	s := NewScheduler(0)
+	var order []int
+	at := FromSeconds(5)
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(at, func(Time) { order = append(order, i) })
+	}
+	s.Drain(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events ran out of insertion order: %v", order)
+		}
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	s := NewScheduler(0)
+	fired := false
+	s.At(FromSeconds(10), func(Time) { fired = true })
+	s.RunUntil(FromSeconds(5))
+	if fired {
+		t.Error("future event fired early")
+	}
+	if s.Now() != FromSeconds(5) {
+		t.Errorf("clock = %v, want 5s", s.Now())
+	}
+	s.RunUntil(FromSeconds(10))
+	if !fired {
+		t.Error("due event did not fire")
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	s := NewScheduler(0)
+	var order []string
+	s.At(FromSeconds(1), func(now Time) {
+		order = append(order, "a")
+		s.At(now.Add(time.Second), func(Time) { order = append(order, "b") })
+		s.At(now.Add(10*time.Second), func(Time) { order = append(order, "late") })
+	})
+	s.RunUntil(FromSeconds(5))
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("cascaded events wrong: %v", order)
+	}
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d, want 1 (the late event)", s.Pending())
+	}
+}
+
+func TestEventSeesItsDeadlineAsNow(t *testing.T) {
+	s := NewScheduler(0)
+	var at Time
+	s.At(FromSeconds(7), func(now Time) { at = now })
+	s.Drain(0)
+	if at != FromSeconds(7) {
+		t.Errorf("event saw now=%v, want 7s", at)
+	}
+	if s.Now() != FromSeconds(7) {
+		t.Errorf("clock after drain = %v, want 7s", s.Now())
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	s := NewScheduler(FromSeconds(100))
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	s.At(FromSeconds(50), func(Time) {})
+}
+
+func TestRunUntilPastPanics(t *testing.T) {
+	s := NewScheduler(FromSeconds(100))
+	defer func() {
+		if recover() == nil {
+			t.Error("RunUntil in the past did not panic")
+		}
+	}()
+	s.RunUntil(FromSeconds(50))
+}
+
+func TestAdvance(t *testing.T) {
+	s := NewScheduler(0)
+	count := 0
+	for i := 1; i <= 5; i++ {
+		s.At(FromSeconds(float64(i)), func(Time) { count++ })
+	}
+	s.Advance(3 * time.Second)
+	if count != 3 {
+		t.Errorf("after 3s advance, %d events ran, want 3", count)
+	}
+	s.Advance(10 * time.Second)
+	if count != 5 {
+		t.Errorf("after further advance, %d events ran, want 5", count)
+	}
+}
+
+func TestDrainLimit(t *testing.T) {
+	s := NewScheduler(0)
+	for i := 0; i < 10; i++ {
+		s.At(FromSeconds(float64(i)), func(Time) {})
+	}
+	if ran := s.Drain(4); ran != 4 {
+		t.Errorf("Drain(4) ran %d events", ran)
+	}
+	if s.Pending() != 6 {
+		t.Errorf("pending = %d, want 6", s.Pending())
+	}
+}
+
+// Property: however events are inserted, they execute in nondecreasing time
+// order.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		s := NewScheduler(0)
+		var fired []Time
+		for _, off := range offsets {
+			at := FromSeconds(float64(off))
+			s.At(at, func(now Time) { fired = append(fired, now) })
+		}
+		s.Drain(0)
+		if len(fired) != len(offsets) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

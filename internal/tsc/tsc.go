@@ -1,0 +1,186 @@
+// Package tsc models the x86 invariant timestamp counter of a simulated
+// physical host, together with the measurement-noise profile a sandboxed
+// guest experiences when pairing TSC reads with wall-clock system calls.
+//
+// The model captures the three physical facts the paper's fingerprints rest
+// on (§2.4, §4.2):
+//
+//  1. The TSC resets to zero at host boot and increments at a fixed rate
+//     regardless of frequency scaling — so its value encodes host uptime.
+//  2. The *actual* TSC frequency deviates from the *reported* (labeled base)
+//     frequency by a small constant per-host error ε, so a boot time derived
+//     with the reported frequency drifts linearly in real time (Eq. 4.2) and
+//     the fingerprint eventually "expires".
+//  3. Wall-clock reads from inside a container are system calls subject to
+//     scheduling noise; on a minority of "problematic" hosts the noise is
+//     large enough to make measured-frequency estimates useless (§4.2,
+//     method 2: 58 of 586 hosts).
+package tsc
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"eaao/internal/randx"
+	"eaao/internal/simtime"
+)
+
+// Counter is the invariant TSC of one physical host.
+type Counter struct {
+	// Boot is the virtual instant the host booted (TSC value zero).
+	Boot simtime.Time
+	// ActualHz is the true increment rate. It is an integer so counter
+	// values are exact: at 2 GHz over 60 days the counter exceeds 1e16,
+	// beyond float64's contiguous-integer range.
+	ActualHz uint64
+	// ReportedHz is the frequency a guest infers from the CPU model name
+	// (the labeled base frequency). The per-host error ε = ActualHz −
+	// ReportedHz is what makes reported-frequency fingerprints drift.
+	ReportedHz float64
+}
+
+// ReadAt returns the counter value at virtual time now, exactly. It panics if
+// now precedes the host's boot: the simulator never observes a host before it
+// exists.
+func (c Counter) ReadAt(now simtime.Time) uint64 {
+	if now.Before(c.Boot) {
+		panic(fmt.Sprintf("tsc: read at %v before boot %v", now, c.Boot))
+	}
+	ns := uint64(now.Sub(c.Boot))
+	// Split to avoid overflow: ns can reach ~6e15 (70 days) and ActualHz
+	// ~2.5e9; their product would overflow uint64.
+	secs := ns / 1e9
+	rem := ns % 1e9
+	return secs*c.ActualHz + rem*c.ActualHz/1e9
+}
+
+// FreqError returns the paper's ε = f_r − f* (reported minus actual), in Hz.
+func (c Counter) FreqError() float64 { return c.ReportedHz - float64(c.ActualHz) }
+
+// DriftRate returns the rate at which a boot time derived with the reported
+// frequency drifts, in seconds of derived-T_boot per second of real time
+// (Eq. 4.2: ΔT_boot/ΔT_w = ε/f_r). A host whose actual frequency exceeds the
+// label drifts its derived boot time into the past (negative rate).
+func (c Counter) DriftRate() float64 { return c.FreqError() / c.ReportedHz }
+
+// NoiseProfile describes the wall-clock measurement noise guests on a host
+// experience. The model has two components, matching what the paper's data
+// implies about real Cloud Run hosts:
+//
+//   - A per-read jitter (syscall/vDSO latency variation). On healthy hosts
+//     it is tiny — small enough that Δtsc/ΔT_w frequency estimation over
+//     100 ms windows achieves sub-100 Hz standard deviation. On
+//     "problematic" hosts (~10% of the fleet) timekeeping is disturbed
+//     (heavy steal time) and the jitter is microseconds, which blows the
+//     frequency estimate up to 10 kHz–MHz standard deviations (§4.2).
+//   - A per-guest constant offset (gVisor's time virtualization layer can
+//     pin a sandbox's clock slightly off the host's NTP-disciplined time).
+//     A constant offset cancels out of frequency *differences*, so it never
+//     affects method 2 — but it shifts each instance's derived T_boot, which
+//     is what makes co-located instances disagree at fine rounding
+//     precisions and gives Fig. 4 its recall falloff below p_boot = 100 ms.
+type NoiseProfile struct {
+	// JitterStd is the standard deviation of the per-read jitter.
+	JitterStd time.Duration
+	// GuestOffsetProb is the probability that a newly created guest gets a
+	// nonzero constant clock offset.
+	GuestOffsetProb float64
+	// GuestOffsetScale is the Laplace scale of that offset (signed).
+	GuestOffsetScale time.Duration
+	// Problematic marks hosts whose measured-frequency estimates are
+	// unusable for fingerprinting.
+	Problematic bool
+}
+
+// DefaultNoise returns the noise profile of a healthy host.
+func DefaultNoise() NoiseProfile {
+	return NoiseProfile{
+		JitterStd:        3 * time.Nanosecond,
+		GuestOffsetProb:  0.45,
+		GuestOffsetScale: 150 * time.Microsecond,
+	}
+}
+
+// ProblematicNoise returns the profile of a timekeeping-disturbed host. The
+// per-read jitter is drawn per host between ~0.5 µs and ~50 µs so that
+// measured-frequency standard deviations span the 10 kHz–MHz range the paper
+// observed.
+func ProblematicNoise(rng *randx.Source) NoiseProfile {
+	p := DefaultNoise()
+	p.Problematic = true
+	// Log-uniform between 0.5 and 50 µs.
+	exp := rng.Range(0, 2) // 10^0 .. 10^2
+	p.JitterStd = time.Duration(500 * math.Pow(10, exp) * float64(time.Nanosecond))
+	return p
+}
+
+// WallJitter draws the non-negative per-read delay of one wall-clock read.
+func (p NoiseProfile) WallJitter(rng *randx.Source) time.Duration {
+	d := rng.Normal(0, float64(p.JitterStd))
+	if d < 0 {
+		d = -d
+	}
+	return time.Duration(d)
+}
+
+// SampleGuestOffset draws the constant clock offset of a newly created
+// guest. The offset is signed and zero for most guests.
+func (p NoiseProfile) SampleGuestOffset(rng *randx.Source) time.Duration {
+	if !rng.Bool(p.GuestOffsetProb) {
+		return 0
+	}
+	return time.Duration(rng.Laplace(0, float64(p.GuestOffsetScale)))
+}
+
+// SampleFreqError draws the per-host constant frequency error ε (Hz) for a
+// host with the given reported frequency. The distribution is bimodal, which
+// is what the paper's data jointly implies: a concentrated core (most hosts
+// within a couple of kHz of nominal, so their 1 s-rounded fingerprints
+// survive many days and several hosts share the same 1 kHz-refined
+// frequency, §4.5's ~2 hosts per Gen 2 fingerprint) plus a ~10% tail of
+// fast-drifting parts (the fingerprints that expire within ~2 days in
+// Fig. 5).
+func SampleFreqError(rng *randx.Source, reportedHz float64) float64 {
+	// Scale with frequency so faster parts are not proportionally more
+	// stable; values below are calibrated at 2 GHz.
+	scale := reportedHz / 2e9
+	var eps float64
+	if rng.Bool(0.10) {
+		// Fast-drift tail: 5–20 kHz either way.
+		eps = rng.Range(5e3, 20e3) * scale
+		if rng.Bool(0.5) {
+			eps = -eps
+		}
+	} else {
+		eps = rng.Laplace(0, 1.2e3*scale)
+	}
+	const clip = 5e4
+	if eps > clip {
+		eps = clip
+	}
+	if eps < -clip {
+		eps = -clip
+	}
+	// A true ε of zero would make a fingerprint immortal; real oscillators
+	// always deviate at least slightly.
+	if eps > -1 && eps < 1 {
+		if eps >= 0 {
+			eps = 1
+		} else {
+			eps = -1
+		}
+	}
+	return eps
+}
+
+// NewCounter builds a Counter for a host that booted at boot with the given
+// reported frequency, drawing its actual frequency from SampleFreqError.
+func NewCounter(rng *randx.Source, boot simtime.Time, reportedHz float64) Counter {
+	actual := reportedHz + SampleFreqError(rng, reportedHz)
+	return Counter{
+		Boot:       boot,
+		ActualHz:   uint64(actual + 0.5),
+		ReportedHz: reportedHz,
+	}
+}

@@ -1,0 +1,236 @@
+package tsc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"eaao/internal/randx"
+	"eaao/internal/simtime"
+)
+
+func TestReadAtExact(t *testing.T) {
+	c := Counter{Boot: simtime.FromSeconds(100), ActualHz: 2_000_000_000, ReportedHz: 2e9}
+	cases := []struct {
+		at   simtime.Time
+		want uint64
+	}{
+		{simtime.FromSeconds(100), 0},
+		{simtime.FromSeconds(101), 2_000_000_000},
+		{simtime.FromSeconds(100).Add(time.Millisecond), 2_000_000},
+		{simtime.FromSeconds(100).Add(time.Nanosecond), 2},
+	}
+	for _, tc := range cases {
+		if got := c.ReadAt(tc.at); got != tc.want {
+			t.Errorf("ReadAt(%v) = %d, want %d", tc.at, got, tc.want)
+		}
+	}
+}
+
+func TestReadAtLongUptimeNoPrecisionLoss(t *testing.T) {
+	// 60 days of uptime at 2.45 GHz: ~1.27e16 ticks, beyond float64's exact
+	// integer range. Integer math must stay exact.
+	c := Counter{Boot: 0, ActualHz: 2_450_000_000, ReportedHz: 2.45e9}
+	at := simtime.Time(60 * 24 * time.Hour.Nanoseconds())
+	want := uint64(60*24*3600) * 2_450_000_000
+	if got := c.ReadAt(at); got != want {
+		t.Errorf("60-day read = %d, want %d (diff %d)", got, want, int64(got)-int64(want))
+	}
+}
+
+func TestReadBeforeBootPanics(t *testing.T) {
+	c := Counter{Boot: simtime.FromSeconds(100), ActualHz: 2e9, ReportedHz: 2e9}
+	defer func() {
+		if recover() == nil {
+			t.Error("read before boot did not panic")
+		}
+	}()
+	c.ReadAt(simtime.FromSeconds(99))
+}
+
+// Property: the counter is monotone and advances proportionally to elapsed
+// time.
+func TestReadAtMonotoneProperty(t *testing.T) {
+	c := Counter{Boot: 0, ActualHz: 2_000_000_000, ReportedHz: 2e9}
+	f := func(aRaw, bRaw uint32) bool {
+		a := simtime.Time(aRaw) * 1000
+		b := simtime.Time(bRaw) * 1000
+		if a > b {
+			a, b = b, a
+		}
+		va, vb := c.ReadAt(a), c.ReadAt(b)
+		if va > vb {
+			return false
+		}
+		// Tick delta must match elapsed ns within rounding.
+		elapsed := uint64(b - a)
+		wantTicks := elapsed * 2 // 2 GHz = 2 ticks/ns
+		diff := int64(vb-va) - int64(wantTicks)
+		return diff >= -2 && diff <= 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDriftRate(t *testing.T) {
+	c := Counter{Boot: 0, ActualHz: 2_000_004_000, ReportedHz: 2e9}
+	if eps := c.FreqError(); eps != -4000 {
+		t.Errorf("FreqError = %v, want -4000 (reported minus actual)", eps)
+	}
+	want := -4000.0 / 2e9
+	if dr := c.DriftRate(); math.Abs(dr-want) > 1e-15 {
+		t.Errorf("DriftRate = %v, want %v", dr, want)
+	}
+}
+
+// The derived boot time using the reported frequency must drift linearly at
+// DriftRate, per Eq. 4.2.
+func TestDerivedBootTimeDriftMatchesEq42(t *testing.T) {
+	c := Counter{Boot: simtime.FromSeconds(1000), ActualHz: 2_000_010_000, ReportedHz: 2e9}
+	derive := func(at simtime.Time) float64 {
+		tsc := c.ReadAt(at)
+		return at.Seconds() - float64(tsc)/c.ReportedHz
+	}
+	t1 := simtime.FromSeconds(2000)
+	t2 := t1.Add(48 * time.Hour)
+	drift := derive(t2) - derive(t1)
+	want := c.DriftRate() * (48 * 3600)
+	// ε=10kHz at 2GHz over 2 days → ~0.86 s of drift.
+	if math.Abs(drift-want) > 1e-3 {
+		t.Errorf("observed drift %v s, Eq 4.2 predicts %v s", drift, want)
+	}
+}
+
+func TestWallJitterNonNegative(t *testing.T) {
+	rng := randx.New(1)
+	for _, p := range []NoiseProfile{DefaultNoise(), ProblematicNoise(randx.New(2))} {
+		for i := 0; i < 10000; i++ {
+			if d := p.WallJitter(rng); d < 0 {
+				t.Fatalf("negative wall jitter %v", d)
+			}
+		}
+	}
+}
+
+func TestHealthyJitterTiny(t *testing.T) {
+	// Healthy-host jitter must stay in the nanosecond range so that
+	// measured-frequency estimation over 100 ms windows lands under 100 Hz
+	// standard deviation.
+	rng := randx.New(2)
+	p := DefaultNoise()
+	const n = 20000
+	var max time.Duration
+	for i := 0; i < n; i++ {
+		if d := p.WallJitter(rng); d > max {
+			max = d
+		}
+	}
+	if max > 50*time.Nanosecond {
+		t.Errorf("healthy jitter reached %v, want nanosecond scale", max)
+	}
+}
+
+func TestProblematicNoiseLarger(t *testing.T) {
+	rngA := randx.New(3)
+	rngB := randx.New(3)
+	normal := DefaultNoise()
+	problem := ProblematicNoise(randx.New(4))
+	var sumN, sumP float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sumN += float64(normal.WallJitter(rngA))
+		sumP += float64(problem.WallJitter(rngB))
+	}
+	if sumP <= sumN*10 {
+		t.Errorf("problematic jitter (%v) not much larger than normal (%v)",
+			time.Duration(sumP/n), time.Duration(sumN/n))
+	}
+}
+
+func TestProblematicJitterRange(t *testing.T) {
+	// Per-host jitter must span roughly 0.5–50 µs (log-uniform), producing
+	// the 10 kHz–MHz frequency stddevs of §4.2.
+	for seed := uint64(0); seed < 200; seed++ {
+		p := ProblematicNoise(randx.New(seed))
+		if p.JitterStd < 400*time.Nanosecond || p.JitterStd > 60*time.Microsecond {
+			t.Fatalf("seed %d: problematic jitter %v out of range", seed, p.JitterStd)
+		}
+		if !p.Problematic {
+			t.Fatal("profile not marked problematic")
+		}
+	}
+}
+
+func TestGuestOffsetDistribution(t *testing.T) {
+	rng := randx.New(5)
+	p := DefaultNoise()
+	const n = 50000
+	zero, pos, neg := 0, 0, 0
+	for i := 0; i < n; i++ {
+		switch off := p.SampleGuestOffset(rng); {
+		case off == 0:
+			zero++
+		case off > 0:
+			pos++
+		default:
+			neg++
+		}
+	}
+	zf := float64(zero) / n
+	if zf < 0.5 || zf > 0.6 {
+		t.Errorf("zero-offset fraction = %.3f, want ~0.55", zf)
+	}
+	// Signed offsets should be roughly symmetric.
+	ratio := float64(pos) / float64(neg)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("offset sign ratio = %.3f", ratio)
+	}
+}
+
+func TestSampleFreqErrorCalibration(t *testing.T) {
+	rng := randx.New(4)
+	const n = 50000
+	var small, big int
+	for i := 0; i < n; i++ {
+		eps := math.Abs(SampleFreqError(rng, 2e9))
+		if eps < 1 {
+			t.Fatalf("|ε| < 1 Hz: %v", eps)
+		}
+		if eps > 5e4 {
+			t.Fatalf("|ε| above clip: %v", eps)
+		}
+		if eps < 3e3 {
+			small++
+		}
+		if eps > 5.8e3 {
+			big++
+		}
+	}
+	// The concentrated core: ~90% of hosts draw |ε| from Laplace(0, 1.2k),
+	// of which P(|ε| < 3k) = 1 − e^{-2.5} ≈ 0.92 → ~0.83 overall. The
+	// fast-drift tail (>5.8 kHz) is essentially the 10% outlier mode.
+	if f := float64(small) / n; f < 0.76 || f > 0.90 {
+		t.Errorf("fraction below 3 kHz = %.3f, want ~0.83", f)
+	}
+	if f := float64(big) / n; f < 0.07 || f > 0.14 {
+		t.Errorf("fast-drift tail fraction = %.3f, want ~0.10", f)
+	}
+}
+
+func TestNewCounterRoundsActual(t *testing.T) {
+	rng := randx.New(5)
+	for i := 0; i < 100; i++ {
+		c := NewCounter(rng, simtime.FromSeconds(float64(i)), 2e9)
+		if c.ActualHz == 0 {
+			t.Fatal("zero actual frequency")
+		}
+		if math.Abs(c.FreqError()) > 5.1e4 {
+			t.Errorf("|ε| = %v beyond clip", c.FreqError())
+		}
+		if c.ReportedHz != 2e9 {
+			t.Errorf("reported = %v", c.ReportedHz)
+		}
+	}
+}
