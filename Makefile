@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: check race bench run-all
+
+# Tier-1 gate: build, vet, test.
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+
+# Race-detector pass. The trial engine's jobs=8 determinism test exercises
+# the parallel path, so this catches any shared-state leak between trial
+# worlds even on a single-core machine.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+run-all:
+	$(GO) run ./cmd/eaao run all

@@ -8,8 +8,10 @@
 //
 // Flags:
 //
-//	-seed N    root seed (default 1)
+//	-seed N    root seed (default 9)
 //	-quick     reduced scale (~4x smaller fleet, fewer reps)
+//	-jobs N    worker-pool width for trial repetitions (default NumCPU; 1 = sequential)
+//	-parallel  run whole experiments concurrently through the same bounded pool
 //	-csv       also print each table as CSV
 package main
 
@@ -19,7 +21,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sync"
+	"runtime"
 	"time"
 
 	"eaao"
@@ -32,6 +34,7 @@ func main() {
 	svgDir := flag.String("svg", "", "directory to write figure SVGs into")
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of text")
 	parallel := flag.Bool("parallel", false, "run experiments concurrently (each owns its own simulated world)")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "max concurrent trial workers (1 = fully sequential)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -63,51 +66,38 @@ func main() {
 				ids = append(ids, d.ID)
 			}
 		}
-		ctx := eaao.ExperimentContext{Seed: *seed, Quick: *quick}
+		ctx := eaao.ExperimentContext{Seed: *seed, Quick: *quick, Jobs: *jobs}
 
 		// Each experiment builds its own deterministic world, so runs are
 		// independent and can proceed concurrently; results print in the
-		// requested order either way.
-		type outcome struct {
-			res     *eaao.ExperimentResult
-			err     error
-			elapsed time.Duration
-		}
-		outcomes := make([]outcome, len(ids))
+		// requested order either way. With -parallel the experiments fan
+		// out through the bounded trial pool (-jobs workers) and each runs
+		// sequentially inside; without it, experiments run one at a time
+		// and each parallelizes its own trial repetitions.
+		var outcomes []eaao.ExperimentOutcome
 		if *parallel {
-			var wg sync.WaitGroup
-			for i, id := range ids {
-				wg.Add(1)
-				go func(i int, id string) {
-					defer wg.Done()
-					start := time.Now()
-					res, err := eaao.RunExperiment(id, ctx)
-					outcomes[i] = outcome{res, err, time.Since(start)}
-				}(i, id)
+			outcomes = eaao.RunExperiments(ids, ctx)
+		} else {
+			for _, id := range ids {
+				res, err := eaao.RunExperiment(id, ctx)
+				outcomes = append(outcomes, eaao.ExperimentOutcome{ID: id, Res: res, Err: err})
 			}
-			wg.Wait()
 		}
-		for i, id := range ids {
-			var res *eaao.ExperimentResult
-			var err error
-			var elapsed time.Duration
-			if *parallel {
-				res, err, elapsed = outcomes[i].res, outcomes[i].err, outcomes[i].elapsed
-			} else {
-				start := time.Now()
-				res, err = eaao.RunExperiment(id, ctx)
-				elapsed = time.Since(start)
+		failures := 0
+		for _, oc := range outcomes {
+			if oc.Err != nil {
+				fmt.Fprintf(os.Stderr, "eaao: %s: %v\n", oc.ID, oc.Err)
+				failures++
+				continue
 			}
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "eaao: %s: %v\n", id, err)
-				os.Exit(1)
-			}
+			res := oc.Res
 			if *jsonOut {
 				enc := json.NewEncoder(os.Stdout)
 				enc.SetIndent("", "  ")
 				if err := enc.Encode(res); err != nil {
-					fmt.Fprintf(os.Stderr, "eaao: %s: %v\n", id, err)
-					os.Exit(1)
+					fmt.Fprintf(os.Stderr, "eaao: %s: %v\n", oc.ID, err)
+					failures++
+					continue
 				}
 			} else {
 				fmt.Print(res.String())
@@ -119,13 +109,19 @@ func main() {
 			}
 			if *svgDir != "" {
 				if err := writeSVGs(*svgDir, res); err != nil {
-					fmt.Fprintf(os.Stderr, "eaao: %s: %v\n", id, err)
-					os.Exit(1)
+					fmt.Fprintf(os.Stderr, "eaao: %s: %v\n", oc.ID, err)
+					failures++
+					continue
 				}
 			}
 			if !*jsonOut {
-				fmt.Printf("(%s completed in %v)\n\n", id, elapsed.Round(time.Millisecond))
+				elapsed := time.Duration(res.Metrics["runtime_wall_s"] * float64(time.Second))
+				fmt.Printf("(%s completed in %v)\n\n", oc.ID, elapsed.Round(time.Millisecond))
 			}
+		}
+		if failures > 0 {
+			fmt.Fprintf(os.Stderr, "eaao: %d of %d experiments failed\n", failures, len(outcomes))
+			os.Exit(1)
 		}
 	default:
 		usage()

@@ -141,6 +141,8 @@ type (
 	ExperimentContext = experiments.Context
 	// ExperimentResult holds an experiment's figures, tables and metrics.
 	ExperimentResult = experiments.Result
+	// ExperimentOutcome pairs one experiment id with its result or error.
+	ExperimentOutcome = experiments.Outcome
 )
 
 // Pricing types.
@@ -290,4 +292,12 @@ func Experiments() []Experiment { return experiments.All() }
 // RunExperiment regenerates one paper artifact ("fig4" ... "gen2cov").
 func RunExperiment(id string, ctx ExperimentContext) (*ExperimentResult, error) {
 	return experiments.Run(id, ctx)
+}
+
+// RunExperiments regenerates several artifacts through the bounded trial
+// pool (ctx.Jobs workers; each experiment runs sequentially inside so the
+// cross-experiment and intra-experiment parallelism do not multiply).
+// Outcomes are returned in input order, one per id, failures included.
+func RunExperiments(ids []string, ctx ExperimentContext) []ExperimentOutcome {
+	return experiments.RunAll(ids, ctx)
 }

@@ -57,134 +57,189 @@ func runAblations(ctx Context) (*Result, error) {
 		n = 400
 	}
 
+	// Every sweep below pins its world seed (ctx.Seed+k, identical across
+	// the sweep's values) so rows within one table stay directly
+	// comparable; the trial engine parallelizes the sweep values, each in
+	// its own world, and the trial sub-seed is deliberately unused.
+
 	// 1. Contention threshold m: group size per test vs tests consumed.
-	mTbl := report.NewTable("Ablation: CTest contention threshold m",
-		"m", "max group per test", "tests", "recall", "precision")
-	for _, m := range []int{2, 3, 4} {
+	type mRow struct {
+		tests             int
+		recall, precision float64
+	}
+	ms := []int{2, 3, 4}
+	mRows, err := runTrials(ctx, len(ms), func(t Trial) (mRow, error) {
+		m := ms[t.Index]
 		pl, insts, err := ablationWorld(ctx.Seed+1, n, sandbox.Gen1)
 		if err != nil {
-			return nil, err
+			return mRow{}, err
 		}
 		items, err := ablationItems(insts)
 		if err != nil {
-			return nil, err
+			return mRow{}, err
 		}
 		tester := covert.NewTester(pl.Scheduler(), covert.DefaultConfig())
 		ver, err := coloc.Verify(tester, items, coloc.Options{M: m})
 		if err != nil {
-			return nil, err
+			return mRow{}, err
 		}
 		truth := make([]faas.HostID, len(insts))
 		for i, inst := range insts {
 			truth[i], _ = inst.HostID()
 		}
 		sc := metrics.ScoreOf(ver.Labels, truth)
-		mTbl.AddRow(m, covert.MaxGroupSize(m), ver.Tests, sc.Recall, sc.Precision)
-		res.Metrics[fmt.Sprintf("m%d_tests", m)] = float64(ver.Tests)
-		res.Metrics[fmt.Sprintf("m%d_recall", m)] = sc.Recall
+		return mRow{ver.Tests, sc.Recall, sc.Precision}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	mTbl := report.NewTable("Ablation: CTest contention threshold m",
+		"m", "max group per test", "tests", "recall", "precision")
+	for mi, m := range ms {
+		r := mRows[mi]
+		mTbl.AddRow(m, covert.MaxGroupSize(m), r.tests, r.recall, r.precision)
+		res.Metrics[fmt.Sprintf("m%d_tests", m)] = float64(r.tests)
+		res.Metrics[fmt.Sprintf("m%d_recall", m)] = r.recall
 	}
 	res.Tables = append(res.Tables, mTbl)
 
-	// 2. Verification method: scalable vs pairwise vs SIE.
-	vTbl := report.NewTable("Ablation: verification method", "method", "tests", "serialized time")
-	{
+	// 2. Verification method: scalable vs pairwise vs SIE, each executed
+	// against its own copy of the same world.
+	type vRow struct {
+		tests      int
+		serialized time.Duration
+	}
+	methods := []string{"scalable (ours)", "pairwise", "SIE+pairwise"}
+	vRows, err := runTrials(ctx, len(methods), func(t Trial) (vRow, error) {
 		pl, insts, err := ablationWorld(ctx.Seed+2, n/2, sandbox.Gen1)
 		if err != nil {
-			return nil, err
-		}
-		items, err := ablationItems(insts)
-		if err != nil {
-			return nil, err
+			return vRow{}, err
 		}
 		tester := covert.NewTester(pl.Scheduler(), covert.DefaultConfig())
-		ours, err := coloc.Verify(tester, items, coloc.DefaultOptions())
-		if err != nil {
-			return nil, err
+		var ver *coloc.Result
+		switch t.Index {
+		case 0:
+			items, err := ablationItems(insts)
+			if err != nil {
+				return vRow{}, err
+			}
+			ver, err = coloc.Verify(tester, items, coloc.DefaultOptions())
+			if err != nil {
+				return vRow{}, err
+			}
+		case 1:
+			ver, err = coloc.VerifyPairwise(tester, insts)
+			if err != nil {
+				return vRow{}, err
+			}
+		default:
+			ver, err = coloc.VerifySIE(tester, insts)
+			if err != nil {
+				return vRow{}, err
+			}
 		}
-		pair, err := coloc.VerifyPairwise(tester, insts)
-		if err != nil {
-			return nil, err
-		}
-		sie, err := coloc.VerifySIE(tester, insts)
-		if err != nil {
-			return nil, err
-		}
-		vTbl.AddRow("scalable (ours)", ours.Tests, ours.SerializedTime.String())
-		vTbl.AddRow("pairwise", pair.Tests, pair.SerializedTime.String())
-		vTbl.AddRow("SIE+pairwise", sie.Tests, sie.SerializedTime.String())
-		res.Metrics["verify_scalable_tests"] = float64(ours.Tests)
-		res.Metrics["verify_pairwise_tests"] = float64(pair.Tests)
-		res.Metrics["verify_sie_tests"] = float64(sie.Tests)
+		return vRow{ver.Tests, ver.SerializedTime}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	vTbl := report.NewTable("Ablation: verification method", "method", "tests", "serialized time")
+	for vi, method := range methods {
+		vTbl.AddRow(method, vRows[vi].tests, vRows[vi].serialized.String())
+	}
+	res.Metrics["verify_scalable_tests"] = float64(vRows[0].tests)
+	res.Metrics["verify_pairwise_tests"] = float64(vRows[1].tests)
+	res.Metrics["verify_sie_tests"] = float64(vRows[2].tests)
 	res.Tables = append(res.Tables, vTbl)
 
 	// 3. Covert channel: RNG vs memory bus at equal verification quality.
-	cTbl := report.NewTable("Ablation: covert channel", "channel", "tests", "serialized time")
-	for _, c := range []struct {
+	channels := []struct {
 		name string
 		cfg  covert.Config
-	}{{"rng", covert.DefaultConfig()}, {"membus", covert.MemBusConfig()}} {
+	}{{"rng", covert.DefaultConfig()}, {"membus", covert.MemBusConfig()}}
+	chRows, err := runTrials(ctx, len(channels), func(t Trial) (vRow, error) {
 		pl, insts, err := ablationWorld(ctx.Seed+3, n/2, sandbox.Gen1)
 		if err != nil {
-			return nil, err
+			return vRow{}, err
 		}
 		items, err := ablationItems(insts)
 		if err != nil {
-			return nil, err
+			return vRow{}, err
 		}
-		tester := covert.NewTester(pl.Scheduler(), c.cfg)
+		tester := covert.NewTester(pl.Scheduler(), channels[t.Index].cfg)
 		ver, err := coloc.Verify(tester, items, coloc.DefaultOptions())
 		if err != nil {
-			return nil, err
+			return vRow{}, err
 		}
-		cTbl.AddRow(c.name, ver.Tests, ver.SerializedTime.String())
-		res.Metrics["channel_"+c.name+"_minutes"] = ver.SerializedTime.Minutes()
+		return vRow{ver.Tests, ver.SerializedTime}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	cTbl := report.NewTable("Ablation: covert channel", "channel", "tests", "serialized time")
+	for ci, c := range channels {
+		cTbl.AddRow(c.name, chRows[ci].tests, chRows[ci].serialized.String())
+		res.Metrics["channel_"+c.name+"_minutes"] = chRows[ci].serialized.Minutes()
 	}
 	res.Tables = append(res.Tables, cTbl)
 
 	// 4. Launch interval: the demand-window sweet spot.
-	iTbl := report.NewTable("Ablation: optimized-strategy launch interval",
-		"interval", "attacker footprint (apparent hosts)")
-	for _, interval := range []time.Duration{2 * time.Minute, 10 * time.Minute, 45 * time.Minute} {
+	intervals := []time.Duration{2 * time.Minute, 10 * time.Minute, 45 * time.Minute}
+	iRows, err := runTrials(ctx, len(intervals), func(t Trial) (int, error) {
 		pl := faas.MustPlatform(ctx.Seed+4, ablationProfile())
 		dc := pl.MustRegion("ablation")
 		cfg := attack.DefaultConfig()
 		cfg.Services = 2
 		cfg.InstancesPerLaunch = n
 		cfg.Launches = 4
-		cfg.Interval = interval
+		cfg.Interval = intervals[t.Index]
 		camp, err := attack.RunOptimized(dc.Account("atk"), cfg, sandbox.Gen1)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		iTbl.AddRow(interval.String(), camp.Footprint.Cumulative())
-		res.Metrics["interval_"+interval.String()] = float64(camp.Footprint.Cumulative())
+		return camp.Footprint.Cumulative(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	iTbl := report.NewTable("Ablation: optimized-strategy launch interval",
+		"interval", "attacker footprint (apparent hosts)")
+	for ii, interval := range intervals {
+		iTbl.AddRow(interval.String(), iRows[ii])
+		res.Metrics["interval_"+interval.String()] = float64(iRows[ii])
 	}
 	res.Tables = append(res.Tables, iTbl)
 
 	// 5. Service count: diminishing returns from overlapping helper sets.
-	sTbl := report.NewTable("Ablation: attacker service count",
-		"services", "attacker footprint (apparent hosts)")
-	for _, services := range []int{1, 3, 6} {
+	serviceCounts := []int{1, 3, 6}
+	sRows, err := runTrials(ctx, len(serviceCounts), func(t Trial) (int, error) {
 		pl := faas.MustPlatform(ctx.Seed+5, ablationProfile())
 		dc := pl.MustRegion("ablation")
 		cfg := attack.DefaultConfig()
-		cfg.Services = services
+		cfg.Services = serviceCounts[t.Index]
 		cfg.InstancesPerLaunch = n
 		cfg.Launches = 4
 		camp, err := attack.RunOptimized(dc.Account("atk"), cfg, sandbox.Gen1)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		sTbl.AddRow(services, camp.Footprint.Cumulative())
-		res.Metrics[fmt.Sprintf("services_%d", services)] = float64(camp.Footprint.Cumulative())
+		return camp.Footprint.Cumulative(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sTbl := report.NewTable("Ablation: attacker service count",
+		"services", "attacker footprint (apparent hosts)")
+	for si, services := range serviceCounts {
+		sTbl.AddRow(services, sRows[si])
+		res.Metrics[fmt.Sprintf("services_%d", services)] = float64(sRows[si])
 	}
 	res.Tables = append(res.Tables, sTbl)
 
 	// 6. Dynamic placement: coverage vs base-pool resampling fraction.
-	dTbl := report.NewTable("Ablation: dynamic placement (us-central1 mechanism)",
-		"resample fraction", "victim coverage")
-	for _, frac := range []float64{0, 0.25, 0.5, 0.75} {
+	fracs := []float64{0, 0.25, 0.5, 0.75}
+	dRows, err := runTrials(ctx, len(fracs), func(t Trial) (float64, error) {
+		frac := fracs[t.Index]
 		p := ablationProfile()
 		if frac > 0 {
 			p.DynamicPlacement = true
@@ -198,14 +253,14 @@ func runAblations(ctx Context) (*Result, error) {
 		cfg.Launches = 4
 		camp, err := attack.RunOptimized(dc.Account("attacker"), cfg, sandbox.Gen1)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		vicSvc := dc.Account("victim").DeployService("v", faas.ServiceConfig{})
 		var vic []*faas.Instance
 		for l := 0; l < 3; l++ {
 			vic, err = vicSvc.Launch(60)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			if l < 2 {
 				vicSvc.Disconnect()
@@ -215,10 +270,18 @@ func runAblations(ctx Context) (*Result, error) {
 		tester := covert.NewTester(dc.Scheduler(), covert.DefaultConfig())
 		cov, err := attack.MeasureCoverage(tester, camp.Live, vic, cfg.Precision)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		dTbl.AddRow(frac, cov.Fraction())
-		res.Metrics[fmt.Sprintf("dynamic_%.2f", frac)] = cov.Fraction()
+		return cov.Fraction(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dTbl := report.NewTable("Ablation: dynamic placement (us-central1 mechanism)",
+		"resample fraction", "victim coverage")
+	for di, frac := range fracs {
+		dTbl.AddRow(frac, dRows[di])
+		res.Metrics[fmt.Sprintf("dynamic_%.2f", frac)] = dRows[di]
 	}
 	res.Tables = append(res.Tables, dTbl)
 

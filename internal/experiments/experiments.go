@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -24,6 +25,20 @@ type Context struct {
 	// launches, single repetition) for tests and fast iteration. The full
 	// scale matches the paper: 800-instance launches, 3 repetitions.
 	Quick bool
+	// Jobs bounds the worker count of the trial engine: independent
+	// (repetition × sweep point) units run on at most Jobs workers, each
+	// inside its own simulated world. 0 means runtime.NumCPU(); 1 runs
+	// strictly sequentially. Results are merged by trial index, so every
+	// value of Jobs produces byte-identical output (timing metrics aside).
+	Jobs int
+}
+
+// jobs resolves the effective worker count.
+func (c Context) jobs() int {
+	if c.Jobs > 0 {
+		return c.Jobs
+	}
+	return runtime.NumCPU()
 }
 
 // Result is the outcome of one experiment.
@@ -131,13 +146,23 @@ func ByID(id string) (Descriptor, bool) {
 	return Descriptor{}, false
 }
 
-// Run executes the experiment with the given id.
+// Run executes the experiment with the given id. The wall clock spent and
+// the worker count used are recorded as "runtime_*" metrics; they are the
+// only nondeterministic part of a result, and consumers comparing output
+// across runs (or across -jobs values) should exclude them.
 func Run(id string, ctx Context) (*Result, error) {
 	d, ok := ByID(id)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 	}
-	return d.Run(ctx)
+	start := time.Now()
+	res, err := d.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res.Metrics["runtime_wall_s"] = time.Since(start).Seconds()
+	res.Metrics["runtime_jobs"] = float64(ctx.jobs())
+	return res, nil
 }
 
 // --- scale helpers -------------------------------------------------------
@@ -179,6 +204,27 @@ func (c Context) profiles() []faas.RegionProfile {
 // platform builds a fresh simulated cloud for this context.
 func (c Context) platform() *faas.Platform {
 	return faas.MustPlatform(c.Seed, c.profiles()...)
+}
+
+// regions lists the region names of this context's profile set without
+// building a platform (trial jobs build their own single-region worlds).
+func (c Context) regions() []faas.Region {
+	profs := c.profiles()
+	out := make([]faas.Region, len(profs))
+	for i, p := range profs {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// regionProfile returns the profile of one region of this context's set.
+func (c Context) regionProfile(r faas.Region) faas.RegionProfile {
+	for _, p := range c.profiles() {
+		if p.Name == r {
+			return p
+		}
+	}
+	panic(fmt.Sprintf("experiments: region %s not in profile set", r))
 }
 
 // launchSize is the per-launch instance count (paper: 800).

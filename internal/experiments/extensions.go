@@ -63,26 +63,32 @@ func runMitigation(ctx Context) (*Result, error) {
 	d, _ := ByID("mitigation")
 	res := newResult(d)
 
-	type world struct {
-		name string
-		pl   *faas.Platform
+	// Baseline vs mitigated worlds as two trials. Both worlds share the
+	// root seed (a controlled comparison: identical fleet, defenses on or
+	// off), so the trial sub-seed is deliberately ignored.
+	type worldRow struct {
+		name   string
+		g1, g2 metrics.Score
+		tests  int
 	}
-	worlds := []world{
-		{"baseline", faas.MustPlatform(ctx.Seed, ctx.profiles()...)},
-		{"mitigated", faas.MustPlatform(ctx.Seed, ctx.mitigatedProfiles()...)},
+	worlds := []struct {
+		name     string
+		profiles []faas.RegionProfile
+	}{
+		{"baseline", ctx.profiles()},
+		{"mitigated", ctx.mitigatedProfiles()},
 	}
-
-	tbl := report.NewTable("Fingerprint accuracy with and without §6 mitigations",
-		"world", "gen1 FMI", "gen1 recall", "gen2 FMI", "gen2 precision", "verify tests")
-	for _, w := range worlds {
-		dc := w.pl.MustRegion(faas.USEast1)
+	rows, err := runTrials(ctx, len(worlds), func(t Trial) (worldRow, error) {
+		w := worlds[t.Index]
+		pl := faas.MustPlatform(ctx.Seed, w.profiles...)
+		dc := pl.MustRegion(faas.USEast1)
 		g1, err := fingerprintScore(dc, sandbox.Gen1, ctx.launchSize())
 		if err != nil {
-			return nil, err
+			return worldRow{}, err
 		}
 		g2, err := fingerprintScore(dc, sandbox.Gen2, ctx.launchSize())
 		if err != nil {
-			return nil, err
+			return worldRow{}, err
 		}
 
 		// Verification cost under broken fingerprints: the attacker falls
@@ -90,13 +96,13 @@ func runMitigation(ctx Context) (*Result, error) {
 		svc := dc.Account("account-1").DeployService("mit-verify", faas.ServiceConfig{})
 		insts, err := svc.Launch(ctx.launchSize() / 4)
 		if err != nil {
-			return nil, err
+			return worldRow{}, err
 		}
 		items := make([]coloc.Item, len(insts))
 		for i, inst := range insts {
 			s, err := fingerprint.CollectGen1(inst.MustGuest())
 			if err != nil {
-				return nil, err
+				return worldRow{}, err
 			}
 			fp := fingerprint.Gen1FromSample(s, fingerprint.DefaultPrecision)
 			items[i] = coloc.Item{Inst: inst, Fingerprint: fp.String(), ConflictKey: fp.Model}
@@ -104,24 +110,34 @@ func runMitigation(ctx Context) (*Result, error) {
 		tester := covert.NewTester(dc.Scheduler(), covert.DefaultConfig())
 		ver, err := coloc.Verify(tester, items, coloc.DefaultOptions())
 		if err != nil {
-			return nil, err
+			return worldRow{}, err
 		}
 		svc.Disconnect()
+		return worldRow{name: w.name, g1: g1, g2: g2, tests: ver.Tests}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 
-		tbl.AddRow(w.name, g1.FMI, g1.Recall, g2.FMI, g2.Precision, ver.Tests)
-		res.Metrics["gen1_fmi_"+w.name] = g1.FMI
-		res.Metrics["gen1_recall_"+w.name] = g1.Recall
-		res.Metrics["gen2_precision_"+w.name] = g2.Precision
-		res.Metrics["verify_tests_"+w.name] = float64(ver.Tests)
+	tbl := report.NewTable("Fingerprint accuracy with and without §6 mitigations",
+		"world", "gen1 FMI", "gen1 recall", "gen2 FMI", "gen2 precision", "verify tests")
+	for _, r := range rows {
+		tbl.AddRow(r.name, r.g1.FMI, r.g1.Recall, r.g2.FMI, r.g2.Precision, r.tests)
+		res.Metrics["gen1_fmi_"+r.name] = r.g1.FMI
+		res.Metrics["gen1_recall_"+r.name] = r.g1.Recall
+		res.Metrics["gen2_precision_"+r.name] = r.g2.Precision
+		res.Metrics["verify_tests_"+r.name] = float64(r.tests)
 	}
 	res.Tables = append(res.Tables, tbl)
 
 	// The scheduling defense §6 also cites: co-location-resistant (random)
 	// placement. It dismantles the attack at the placement layer — and its
 	// cost is visible as image-cold hosts on every launch.
-	schedTbl := report.NewTable("Co-location-resistant scheduling",
-		"world", "optimized-attack coverage", "cold-host fraction")
-	for _, defended := range []bool{false, true} {
+	// Affinity vs random placement as two trials on the same fixed seed —
+	// another controlled comparison, so the trial sub-seed is ignored.
+	type schedRow struct{ coverage, coldFrac float64 }
+	schedRows, err := runTrials(ctx, 2, func(t Trial) (schedRow, error) {
+		defended := t.Index == 1
 		profs := ctx.profiles()
 		if defended {
 			for i := range profs {
@@ -132,7 +148,7 @@ func runMitigation(ctx Context) (*Result, error) {
 		dc := pl.MustRegion(faas.USEast1)
 		camp, err := attack.RunOptimized(dc.Account("account-1"), ctx.attackCfg(), sandbox.Gen1)
 		if err != nil {
-			return nil, err
+			return schedRow{}, err
 		}
 		vicSvc := dc.Account("account-2").DeployService("victim", faas.ServiceConfig{})
 		// A few victim launches so the locality cost is measured in steady
@@ -141,7 +157,7 @@ func runMitigation(ctx Context) (*Result, error) {
 		for l := 0; l < 3; l++ {
 			vic, err = vicSvc.Launch(ctx.defaultVictims())
 			if err != nil {
-				return nil, err
+				return schedRow{}, err
 			}
 			if l < 2 {
 				vicSvc.Disconnect()
@@ -151,17 +167,24 @@ func runMitigation(ctx Context) (*Result, error) {
 		tester := covert.NewTester(dc.Scheduler(), covert.DefaultConfig())
 		cov, err := attack.MeasureCoverage(tester, camp.Live, vic, fingerprint.DefaultPrecision)
 		if err != nil {
-			return nil, err
+			return schedRow{}, err
 		}
-		name := "affinity (baseline)"
-		key := "baseline"
-		if defended {
-			name = "random placement"
-			key = "randomized"
+		return schedRow{cov.Fraction(), vicSvc.ColdHostFraction()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	schedTbl := report.NewTable("Co-location-resistant scheduling",
+		"world", "optimized-attack coverage", "cold-host fraction")
+	for i, r := range schedRows {
+		name, key := "affinity (baseline)", "baseline"
+		if i == 1 {
+			name, key = "random placement", "randomized"
 		}
-		schedTbl.AddRow(name, cov.Fraction(), vicSvc.ColdHostFraction())
-		res.Metrics["sched_coverage_"+key] = cov.Fraction()
-		res.Metrics["sched_coldhosts_"+key] = vicSvc.ColdHostFraction()
+		schedTbl.AddRow(name, r.coverage, r.coldFrac)
+		res.Metrics["sched_coverage_"+key] = r.coverage
+		res.Metrics["sched_coldhosts_"+key] = r.coldFrac
 	}
 	res.Tables = append(res.Tables, schedTbl)
 

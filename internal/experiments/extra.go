@@ -33,7 +33,8 @@ func runTable1(ctx Context) (*Result, error) {
 func runFreq(ctx Context) (*Result, error) {
 	d, _ := ByID("freq")
 	res := newResult(d)
-	pl := ctx.platform()
+	// Single-region study: build only us-east1 (identical world, less setup).
+	pl := faas.MustPlatform(ctx.Seed, ctx.regionProfile(faas.USEast1))
 	dc := pl.MustRegion(faas.USEast1)
 
 	svc := dc.Account("account-1").DeployService("freq-study", faas.ServiceConfig{})
@@ -90,7 +91,8 @@ func runFreq(ctx Context) (*Result, error) {
 func runVerifyCost(ctx Context) (*Result, error) {
 	d, _ := ByID("verifycost")
 	res := newResult(d)
-	pl := ctx.platform()
+	// Single-region study: build only us-east1 (identical world, less setup).
+	pl := faas.MustPlatform(ctx.Seed, ctx.regionProfile(faas.USEast1))
 	dc := pl.MustRegion(faas.USEast1)
 	rates := pricing.CloudRunRates()
 
@@ -157,59 +159,73 @@ func runVerifyCost(ctx Context) (*Result, error) {
 func runGen2Accuracy(ctx Context) (*Result, error) {
 	d, _ := ByID("gen2")
 	res := newResult(d)
-	pl := ctx.platform()
+	profiles := ctx.profiles()
+	reps := ctx.reps()
 
-	var fmis, precs, recalls, hostsPerFp []float64
-	for _, region := range pl.Regions() {
-		dc := pl.MustRegion(region)
+	// One trial per (region × repetition); each measurement runs against
+	// its own single-region world built from the trial sub-seed.
+	type gen2Run struct{ fmi, prec, recall, hostsPerFp float64 }
+	runs, err := runTrials(ctx, len(profiles)*reps, func(t Trial) (gen2Run, error) {
+		prof := profiles[t.Index/reps]
+		pl := faas.MustPlatform(t.Seed, prof)
+		dc := pl.MustRegion(prof.Name)
 		svc := dc.Account("account-1").DeployService("gen2-study",
 			faas.ServiceConfig{Gen: sandbox.Gen2})
-		for rep := 0; rep < ctx.reps(); rep++ {
-			insts, err := svc.Launch(ctx.launchSize())
-			if err != nil {
-				return nil, err
-			}
-			// Fingerprint everything.
-			fps := make([]fingerprint.Gen2, len(insts))
-			items := make([]coloc.Item, len(insts))
-			for i, inst := range insts {
-				fp, err := fingerprint.CollectGen2(inst.MustGuest())
-				if err != nil {
-					return nil, err
-				}
-				fps[i] = fp
-				items[i] = coloc.Item{Inst: inst, Fingerprint: fp.String(), ConflictKey: fp.Model}
-			}
-			// Ground truth via the covert methodology in its Gen 2 regime.
-			tester := covert.NewTester(dc.Scheduler(), covert.DefaultConfig())
-			opt := coloc.DefaultOptions()
-			opt.AssumeNoFalseNegatives = true
-			truth, err := coloc.Verify(tester, items, opt)
-			if err != nil {
-				return nil, err
-			}
-			counts := metrics.CountPairs(fps, truth.Labels)
-			fmis = append(fmis, counts.FMI())
-			precs = append(precs, counts.Precision())
-			recalls = append(recalls, counts.Recall())
-
-			// Hosts per fingerprint.
-			hostsOf := make(map[fingerprint.Gen2]map[int]bool)
-			for i, fp := range fps {
-				if hostsOf[fp] == nil {
-					hostsOf[fp] = make(map[int]bool)
-				}
-				hostsOf[fp][truth.Labels[i]] = true
-			}
-			sum := 0
-			for _, hs := range hostsOf {
-				sum += len(hs)
-			}
-			hostsPerFp = append(hostsPerFp, float64(sum)/float64(len(hostsOf)))
-
-			svc.Disconnect()
-			dc.Scheduler().Advance(24 * time.Hour)
+		insts, err := svc.Launch(ctx.launchSize())
+		if err != nil {
+			return gen2Run{}, err
 		}
+		// Fingerprint everything.
+		fps := make([]fingerprint.Gen2, len(insts))
+		items := make([]coloc.Item, len(insts))
+		for i, inst := range insts {
+			fp, err := fingerprint.CollectGen2(inst.MustGuest())
+			if err != nil {
+				return gen2Run{}, err
+			}
+			fps[i] = fp
+			items[i] = coloc.Item{Inst: inst, Fingerprint: fp.String(), ConflictKey: fp.Model}
+		}
+		// Ground truth via the covert methodology in its Gen 2 regime.
+		tester := covert.NewTester(dc.Scheduler(), covert.DefaultConfig())
+		opt := coloc.DefaultOptions()
+		opt.AssumeNoFalseNegatives = true
+		truth, err := coloc.Verify(tester, items, opt)
+		if err != nil {
+			return gen2Run{}, err
+		}
+		counts := metrics.CountPairs(fps, truth.Labels)
+
+		// Hosts per fingerprint.
+		hostsOf := make(map[fingerprint.Gen2]map[int]bool)
+		for i, fp := range fps {
+			if hostsOf[fp] == nil {
+				hostsOf[fp] = make(map[int]bool)
+			}
+			hostsOf[fp][truth.Labels[i]] = true
+		}
+		sum := 0
+		for _, hs := range hostsOf {
+			sum += len(hs)
+		}
+		svc.Disconnect()
+		return gen2Run{
+			fmi:        counts.FMI(),
+			prec:       counts.Precision(),
+			recall:     counts.Recall(),
+			hostsPerFp: float64(sum) / float64(len(hostsOf)),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var fmis, precs, recalls, hostsPerFp []float64
+	for _, r := range runs {
+		fmis = append(fmis, r.fmi)
+		precs = append(precs, r.prec)
+		recalls = append(recalls, r.recall)
+		hostsPerFp = append(hostsPerFp, r.hostsPerFp)
 	}
 
 	tbl := report.NewTable("Gen 2 fingerprint accuracy", "FMI", "precision", "recall", "hosts/fingerprint")
@@ -226,37 +242,57 @@ func runGen2Accuracy(ctx Context) (*Result, error) {
 func runNaive(ctx Context) (*Result, error) {
 	d, _ := ByID("naive")
 	res := newResult(d)
-	pl := ctx.platform()
+	profiles := ctx.profiles()
 	attacker, victims := accounts()
 
-	tbl := report.NewTable("Naive strategy victim coverage", "region", "victim", "coverage", "attacker hosts")
-	zeroPairs, highPairs := 0, 0
-	for _, region := range pl.Regions() {
-		dc := pl.MustRegion(region)
+	// One trial per region: each naive campaign runs against its own world.
+	type naiveRun struct {
+		footprint int
+		coverage  []float64 // per victim account
+	}
+	runs, err := runTrials(ctx, len(profiles), func(t Trial) (naiveRun, error) {
+		prof := profiles[t.Index]
+		pl := faas.MustPlatform(t.Seed, prof)
+		dc := pl.MustRegion(prof.Name)
 		camp, err := attack.RunNaive(dc.Account(attacker), ctx.attackCfg(), sandbox.Gen1)
 		if err != nil {
-			return nil, err
+			return naiveRun{}, err
 		}
 		tester := covert.NewTester(dc.Scheduler(), covert.DefaultConfig())
+		run := naiveRun{footprint: camp.Footprint.Cumulative()}
 		for _, vicAcct := range victims {
 			svc := dc.Account(vicAcct).DeployService("victim", faas.ServiceConfig{})
 			vicInsts, err := svc.Launch(ctx.defaultVictims())
 			if err != nil {
-				return nil, err
+				return naiveRun{}, err
 			}
 			cov, err := attack.MeasureCoverage(tester, camp.Live, vicInsts, fingerprint.DefaultPrecision)
 			if err != nil {
-				return nil, err
+				return naiveRun{}, err
 			}
-			tbl.AddRow(string(region), vicAcct, cov.Fraction(), camp.Footprint.Cumulative())
-			res.Metrics[fmt.Sprintf("coverage_%s_%s", region, vicAcct)] = cov.Fraction()
+			run.coverage = append(run.coverage, cov.Fraction())
+			svc.Disconnect()
+		}
+		return run, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	tbl := report.NewTable("Naive strategy victim coverage", "region", "victim", "coverage", "attacker hosts")
+	zeroPairs, highPairs := 0, 0
+	for ri, run := range runs {
+		region := profiles[ri].Name
+		for vi, vicAcct := range victims {
+			frac := run.coverage[vi]
+			tbl.AddRow(string(region), vicAcct, frac, run.footprint)
+			res.Metrics[fmt.Sprintf("coverage_%s_%s", region, vicAcct)] = frac
 			switch {
-			case cov.Fraction() == 0:
+			case frac == 0:
 				zeroPairs++
-			case cov.Fraction() > 0.5:
+			case frac > 0.5:
 				highPairs++
 			}
-			svc.Disconnect()
 		}
 	}
 	res.Tables = append(res.Tables, tbl)

@@ -49,44 +49,72 @@ type victimConfig struct {
 // victim count, as in the paper).
 func runCoverageStudy(ctx Context, gen sandbox.Gen, configs []victimConfig, defaultLabel string) (map[coverageKey][]float64, map[faas.Region]bool, error) {
 	_, victims := accounts()
+	profiles := ctx.profiles()
+	reps := ctx.reps()
+
+	// One trial per (repetition × region). A fresh world per trial models
+	// "different days": the paper's repeated measurements each began from a
+	// cold attacker state, so each trial builds its own single-region world
+	// from its sub-seed and runs one full campaign against it.
+	type covTrial struct {
+		fracs     [][]float64 // [victim account][config]
+		defaultOK bool        // cov.AtLeastOne held for every victim at defaultLabel
+	}
+	runs, err := runTrials(ctx, reps*len(profiles), func(t Trial) (covTrial, error) {
+		prof := profiles[t.Index%len(profiles)]
+		rep := t.Index / len(profiles)
+		pl := faas.MustPlatform(t.Seed, prof)
+		dc := pl.MustRegion(prof.Name)
+		camp, err := attack.RunOptimized(dc.Account("account-1"), ctx.attackCfg(), gen)
+		if err != nil {
+			return covTrial{}, err
+		}
+		tester := covert.NewTester(dc.Scheduler(), covert.DefaultConfig())
+		out := covTrial{defaultOK: true}
+		for _, vicAcct := range victims {
+			fr := make([]float64, len(configs))
+			for ci, vc := range configs {
+				svc := dc.Account(vicAcct).DeployService(
+					fmt.Sprintf("victim-%d-%d", rep, ci),
+					faas.ServiceConfig{Size: vc.size, Gen: gen})
+				vicInsts, err := svc.Launch(vc.count)
+				if err != nil {
+					return covTrial{}, err
+				}
+				cov, err := attack.MeasureCoverage(tester, camp.Live, vicInsts,
+					fingerprint.DefaultPrecision)
+				if err != nil {
+					return covTrial{}, err
+				}
+				fr[ci] = cov.Fraction()
+				if vc.label == defaultLabel && !cov.AtLeastOne {
+					out.defaultOK = false
+				}
+				svc.Disconnect()
+			}
+			out.fracs = append(out.fracs, fr)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Merge by trial index: per-key repetition values keep repetition order.
 	out := make(map[coverageKey][]float64)
 	atLeastOne := make(map[faas.Region]bool)
-
-	for rep := 0; rep < ctx.reps(); rep++ {
-		// A fresh world per repetition models "different days": the paper's
-		// repeated measurements each began from a cold attacker state.
-		pl := faas.MustPlatform(ctx.Seed+uint64(rep)*1000, ctx.profiles()...)
-		for _, region := range pl.Regions() {
-			dc := pl.MustRegion(region)
-			if _, ok := atLeastOne[region]; !ok {
-				atLeastOne[region] = true
-			}
-			camp, err := attack.RunOptimized(dc.Account("account-1"), ctx.attackCfg(), gen)
-			if err != nil {
-				return nil, nil, err
-			}
-			tester := covert.NewTester(dc.Scheduler(), covert.DefaultConfig())
-			for _, vicAcct := range victims {
-				for ci, vc := range configs {
-					svc := dc.Account(vicAcct).DeployService(
-						fmt.Sprintf("victim-%d-%d", rep, ci),
-						faas.ServiceConfig{Size: vc.size, Gen: gen})
-					vicInsts, err := svc.Launch(vc.count)
-					if err != nil {
-						return nil, nil, err
-					}
-					cov, err := attack.MeasureCoverage(tester, camp.Live, vicInsts,
-						fingerprint.DefaultPrecision)
-					if err != nil {
-						return nil, nil, err
-					}
-					key := coverageKey{region: region, account: vicAcct, config: vc.label}
-					out[key] = append(out[key], cov.Fraction())
-					if vc.label == defaultLabel && !cov.AtLeastOne {
-						atLeastOne[region] = false
-					}
-					svc.Disconnect()
-				}
+	for ti, run := range runs {
+		region := profiles[ti%len(profiles)].Name
+		if _, ok := atLeastOne[region]; !ok {
+			atLeastOne[region] = true
+		}
+		if !run.defaultOK {
+			atLeastOne[region] = false
+		}
+		for vi, vicAcct := range victims {
+			for ci, vc := range configs {
+				key := coverageKey{region: region, account: vicAcct, config: vc.label}
+				out[key] = append(out[key], run.fracs[vi][ci])
 			}
 		}
 	}
@@ -135,12 +163,12 @@ func runFig11a(ctx Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	pl := ctx.platform()
+	regions := ctx.regions()
 	_, victims := accounts()
 	coverageResult(res, "fig11a", "Victim coverage, varying victim instance count (Small)",
-		pl.Regions(), victims, configs, data)
+		regions, victims, configs, data)
 
-	for _, region := range pl.Regions() {
+	for _, region := range regions {
 		for _, acct := range victims {
 			vals := data[coverageKey{region: region, account: acct, config: defLabel}]
 			res.Metrics[fmt.Sprintf("coverage_%s_%s", region, acct)] = stats.Mean(vals)
@@ -171,13 +199,13 @@ func runFig11b(ctx Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	pl := ctx.platform()
+	regions := ctx.regions()
 	_, victims := accounts()
 	coverageResult(res, "fig11b", "Victim coverage, varying victim size (count fixed)",
-		pl.Regions(), victims, configs, data)
+		regions, victims, configs, data)
 
 	// Size must not matter much: record the spread across sizes per region.
-	for _, region := range pl.Regions() {
+	for _, region := range regions {
 		var means []float64
 		for _, vc := range configs {
 			var all []float64
@@ -205,11 +233,11 @@ func runGen2Coverage(ctx Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	pl := ctx.platform()
+	regions := ctx.regions()
 	_, victims := accounts()
 	coverageResult(res, "gen2cov", "Victim coverage in the Gen 2 environment",
-		pl.Regions(), victims, configs, data)
-	for _, region := range pl.Regions() {
+		regions, victims, configs, data)
+	for _, region := range regions {
 		for _, acct := range victims {
 			vals := data[coverageKey{region: region, account: acct, config: configs[0].label}]
 			res.Metrics[fmt.Sprintf("coverage_%s_%s", region, acct)] = stats.Mean(vals)
@@ -223,22 +251,33 @@ func runGen2Coverage(ctx Context) (*Result, error) {
 func runAttackCost(ctx Context) (*Result, error) {
 	d, _ := ByID("cost")
 	res := newResult(d)
-	pl := ctx.platform()
+	profiles := ctx.profiles()
 
-	tbl := report.NewTable("Optimized campaign cost", "region", "vCPU-s", "GB-s", "USD")
-	for _, region := range pl.Regions() {
-		dc := pl.MustRegion(region)
-		acct := dc.Account("account-1")
+	// One trial per region: each campaign is billed against its own world.
+	type bill struct{ vcpuS, gbS, usd float64 }
+	bills, err := runTrials(ctx, len(profiles), func(t Trial) (bill, error) {
+		prof := profiles[t.Index]
+		pl := faas.MustPlatform(t.Seed, prof)
+		acct := pl.MustRegion(prof.Name).Account("account-1")
 		acct.ResetBill()
 		if _, err := attack.RunOptimized(acct, ctx.attackCfg(), sandbox.Gen1); err != nil {
-			return nil, err
+			return bill{}, err
 		}
 		// Let the final launch idle out so no further cost accrues, then
 		// price the bill.
-		bill := acct.Bill()
-		cost := pricing.CloudRunRates().Cost(bill.VCPUSeconds, bill.GBSeconds)
-		tbl.AddRow(string(region), bill.VCPUSeconds, bill.GBSeconds, cost)
-		res.Metrics["usd_"+string(region)] = cost
+		b := acct.Bill()
+		return bill{b.VCPUSeconds, b.GBSeconds,
+			pricing.CloudRunRates().Cost(b.VCPUSeconds, b.GBSeconds)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	tbl := report.NewTable("Optimized campaign cost", "region", "vCPU-s", "GB-s", "USD")
+	for ri, b := range bills {
+		region := profiles[ri].Name
+		tbl.AddRow(string(region), b.vcpuS, b.gbS, b.usd)
+		res.Metrics["usd_"+string(region)] = b.usd
 	}
 	res.Tables = append(res.Tables, tbl)
 	res.note("paper: campaign costs ≈ $24 (us-east1), $23 (us-central1), $27 (us-west1); idle time between launches is free")

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"eaao/internal/core/attack"
+	"eaao/internal/faas"
 	"eaao/internal/report"
 	"eaao/internal/sandbox"
 )
@@ -9,7 +10,7 @@ import (
 func runFig12(ctx Context) (*Result, error) {
 	d, _ := ByID("fig12")
 	res := newResult(d)
-	pl := ctx.platform()
+	profiles := ctx.profiles()
 	attacker, victims := accounts()
 	allAccounts := append([]string{attacker}, victims...)
 
@@ -21,6 +22,39 @@ func runFig12(ctx Context) (*Result, error) {
 		servicesPerAccount = 4
 	}
 
+	// One trial per region, each exploring its own single-region world.
+	type scaleRun struct {
+		attackerHosts int
+		trueHosts     int
+		est           *attack.ScaleEstimate
+	}
+	runs, err := runTrials(ctx, len(profiles), func(t Trial) (scaleRun, error) {
+		prof := profiles[t.Index]
+		pl := faas.MustPlatform(t.Seed, prof)
+		dc := pl.MustRegion(prof.Name)
+
+		// First, the attacker's own footprint with the standard optimized
+		// campaign (six services): the paper reports the share of the
+		// discovered fleet the attacker occupies.
+		camp, err := attack.RunOptimized(dc.Account(attacker), ctx.attackCfg(), sandbox.Gen1)
+		if err != nil {
+			return scaleRun{}, err
+		}
+
+		// Then the scale exploration with 8 services from each of the three
+		// accounts.
+		cfg := ctx.attackCfg()
+		cfg.Launches = launches
+		est, err := attack.EstimateScale(dc, allAccounts, servicesPerAccount, cfg)
+		if err != nil {
+			return scaleRun{}, err
+		}
+		return scaleRun{camp.Footprint.Cumulative(), dc.TrueHostCount(), est}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	fig := &report.Figure{
 		ID:     "fig12",
 		Title:  "Cumulative unique apparent hosts across exploration launches",
@@ -30,26 +64,9 @@ func runFig12(ctx Context) (*Result, error) {
 	tbl := report.NewTable("Data-center scale estimation",
 		"region", "found hosts", "capture-recapture estimate", "true hosts", "attacker hosts", "attacker share")
 
-	for _, region := range pl.Regions() {
-		dc := pl.MustRegion(region)
-
-		// First, the attacker's own footprint with the standard optimized
-		// campaign (six services): the paper reports the share of the
-		// discovered fleet the attacker occupies.
-		camp, err := attack.RunOptimized(dc.Account(attacker), ctx.attackCfg(), sandbox.Gen1)
-		if err != nil {
-			return nil, err
-		}
-		attackerHosts := camp.Footprint.Cumulative()
-
-		// Then the scale exploration with 8 services from each of the three
-		// accounts.
-		cfg := ctx.attackCfg()
-		cfg.Launches = launches
-		est, err := attack.EstimateScale(dc, allAccounts, servicesPerAccount, cfg)
-		if err != nil {
-			return nil, err
-		}
+	for ri, run := range runs {
+		region := profiles[ri].Name
+		est := run.est
 
 		xs := make([]float64, len(est.CumulativeByLaunch))
 		ys := make([]float64, len(est.CumulativeByLaunch))
@@ -59,11 +76,11 @@ func runFig12(ctx Context) (*Result, error) {
 		}
 		fig.AddSeries(string(region), xs, ys)
 
-		share := float64(attackerHosts) / float64(est.UniqueHosts)
-		tbl.AddRow(string(region), est.UniqueHosts, est.ChapmanEstimate, dc.TrueHostCount(), attackerHosts, share)
+		share := float64(run.attackerHosts) / float64(est.UniqueHosts)
+		tbl.AddRow(string(region), est.UniqueHosts, est.ChapmanEstimate, run.trueHosts, run.attackerHosts, share)
 		res.Metrics["found_"+string(region)] = float64(est.UniqueHosts)
 		res.Metrics["chapman_"+string(region)] = est.ChapmanEstimate
-		res.Metrics["true_"+string(region)] = float64(dc.TrueHostCount())
+		res.Metrics["true_"+string(region)] = float64(run.trueHosts)
 		res.Metrics["attacker_share_"+string(region)] = share
 	}
 	res.Figures = append(res.Figures, fig)

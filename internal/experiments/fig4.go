@@ -68,53 +68,75 @@ func collectSamples(insts []*faas.Instance) ([]fingerprint.Sample, error) {
 	return out, nil
 }
 
+// fig4Run is the outcome of one (region × repetition) measurement: one
+// score per sweep precision, plus the perfect-run flag at the default
+// precision.
+type fig4Run struct {
+	fmi, prec, rec []float64 // indexed like precisionSweep
+	perfect        bool
+}
+
 func runFig4(ctx Context) (*Result, error) {
 	d, _ := ByID("fig4")
 	res := newResult(d)
-	pl := ctx.platform()
+	profiles := ctx.profiles()
+	reps := ctx.reps()
 
-	// score[pi] accumulates per-run metric values for precision index pi.
+	// One trial per (region × repetition). Each builds its own
+	// single-region world from the trial sub-seed — repetitions model
+	// "different days and different times of day", i.e. independent
+	// measurement conditions.
+	runs, err := runTrials(ctx, len(profiles)*reps, func(t Trial) (fig4Run, error) {
+		prof := profiles[t.Index/reps]
+		pl := faas.MustPlatform(t.Seed, prof)
+		dc := pl.MustRegion(prof.Name)
+		svc := dc.Account("account-1").DeployService("fp-study", faas.ServiceConfig{})
+		insts, err := svc.Launch(ctx.launchSize())
+		if err != nil {
+			return fig4Run{}, err
+		}
+		samples, err := collectSamples(insts)
+		if err != nil {
+			return fig4Run{}, err
+		}
+		truth, _, err := verifiedTruth(dc, insts, fingerprint.DefaultPrecision)
+		if err != nil {
+			return fig4Run{}, err
+		}
+		var r fig4Run
+		for _, p := range precisionSweep {
+			labels := make([]fingerprint.Gen1, len(samples))
+			for i, s := range samples {
+				labels[i] = fingerprint.Gen1FromSample(s, p)
+			}
+			sc := metrics.ScoreOf(labels, truth)
+			r.fmi = append(r.fmi, sc.FMI)
+			r.prec = append(r.prec, sc.Precision)
+			r.rec = append(r.rec, sc.Recall)
+			if p == fingerprint.DefaultPrecision {
+				r.perfect = metrics.CountPairs(labels, truth).Perfect()
+			}
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// score[pi] accumulates per-run metric values for precision index pi,
+	// merged in trial order.
 	type acc struct{ fmi, prec, rec []float64 }
 	scores := make([]acc, len(precisionSweep))
 	perfectRuns, totalRuns := 0, 0
-
-	for _, region := range pl.Regions() {
-		dc := pl.MustRegion(region)
-		svc := dc.Account("account-1").DeployService("fp-study", faas.ServiceConfig{})
-		for rep := 0; rep < ctx.reps(); rep++ {
-			insts, err := svc.Launch(ctx.launchSize())
-			if err != nil {
-				return nil, err
-			}
-			samples, err := collectSamples(insts)
-			if err != nil {
-				return nil, err
-			}
-			truth, _, err := verifiedTruth(dc, insts, fingerprint.DefaultPrecision)
-			if err != nil {
-				return nil, err
-			}
-			for pi, p := range precisionSweep {
-				labels := make([]fingerprint.Gen1, len(samples))
-				for i, s := range samples {
-					labels[i] = fingerprint.Gen1FromSample(s, p)
-				}
-				sc := metrics.ScoreOf(labels, truth)
-				scores[pi].fmi = append(scores[pi].fmi, sc.FMI)
-				scores[pi].prec = append(scores[pi].prec, sc.Precision)
-				scores[pi].rec = append(scores[pi].rec, sc.Recall)
-				if p == fingerprint.DefaultPrecision {
-					totalRuns++
-					c := metrics.CountPairs(labels, truth)
-					if c.Perfect() {
-						perfectRuns++
-					}
-				}
-			}
-			svc.Disconnect()
-			// Cold gap before the next repetition ("different days and
-			// different times of day").
-			dc.Scheduler().Advance(24 * time.Hour)
+	for _, r := range runs {
+		for pi := range precisionSweep {
+			scores[pi].fmi = append(scores[pi].fmi, r.fmi[pi])
+			scores[pi].prec = append(scores[pi].prec, r.prec[pi])
+			scores[pi].rec = append(scores[pi].rec, r.rec[pi])
+		}
+		totalRuns++
+		if r.perfect {
+			perfectRuns++
 		}
 	}
 

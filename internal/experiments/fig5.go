@@ -10,30 +10,34 @@ import (
 	"eaao/internal/stats"
 )
 
+// fig5Region is one region's week-long tracking study.
+type fig5Region struct {
+	kept    int
+	minAbsR float64
+	expDays []float64
+	xs, ys  []float64
+}
+
 func runFig5(ctx Context) (*Result, error) {
 	d, _ := ByID("fig5")
 	res := newResult(d)
-	pl := ctx.platform()
+	profiles := ctx.profiles()
 
-	fig := &report.Figure{
-		ID:     "fig5",
-		Title:  "CDF of estimated fingerprint expiration time",
-		XLabel: "expiration (days)",
-		YLabel: "CDF",
-	}
-
-	minAbsR := 1.0
-	var allExpDays []float64
-	for _, region := range pl.Regions() {
-		dc := pl.MustRegion(region)
+	// One trial per region, each tracking its own single-region world from
+	// the trial sub-seed.
+	regions, err := runTrials(ctx, len(profiles), func(t Trial) (fig5Region, error) {
+		prof := profiles[t.Index]
+		pl := faas.MustPlatform(t.Seed, prof)
+		dc := pl.MustRegion(prof.Name)
 		svc := dc.Account("account-1").DeployService("tracker", faas.ServiceConfig{})
 		if _, err := svc.Launch(ctx.trackedInstances()); err != nil {
-			return nil, err
+			return fig5Region{}, err
 		}
 
 		// Hourly fingerprint collection; instance churn breaks histories,
 		// so track per instance identity.
 		histories := make(map[string]*fingerprint.History)
+		order := []string{} // deterministic iteration over histories
 		hours := int(ctx.trackingDuration() / time.Hour)
 		for h := 0; h <= hours; h++ {
 			for _, inst := range svc.ActiveInstances() {
@@ -43,12 +47,13 @@ func runFig5(ctx Context) (*Result, error) {
 				}
 				s, err := fingerprint.CollectGen1(g)
 				if err != nil {
-					return nil, err
+					return fig5Region{}, err
 				}
 				hist := histories[inst.ID()]
 				if hist == nil {
 					hist = &fingerprint.History{}
 					histories[inst.ID()] = hist
+					order = append(order, inst.ID())
 				}
 				hist.Add(dc.Now(), s.BootTimeReported())
 			}
@@ -57,9 +62,9 @@ func runFig5(ctx Context) (*Result, error) {
 
 		// Filter to histories spanning at least 24 hours, fit drift, and
 		// interpolate expiration.
-		var expDays []float64
-		kept := 0
-		for _, hist := range histories {
+		out := fig5Region{minAbsR: 1.0}
+		for _, id := range order {
+			hist := histories[id]
 			if hist.Span() < 24*time.Hour {
 				continue
 			}
@@ -67,26 +72,43 @@ func runFig5(ctx Context) (*Result, error) {
 			if err != nil {
 				continue
 			}
-			kept++
-			if r := math.Abs(drift.R); r < minAbsR {
-				minAbsR = r
+			out.kept++
+			if r := math.Abs(drift.R); r < out.minAbsR {
+				out.minAbsR = r
 			}
 			if exp, ok := drift.Expiration(fingerprint.DefaultPrecision); ok {
-				expDays = append(expDays, exp.Hours()/24)
+				out.expDays = append(out.expDays, exp.Hours()/24)
 			}
 		}
-		res.Metrics["histories_"+string(region)] = float64(kept)
-		allExpDays = append(allExpDays, expDays...)
 
-		cdf := stats.NewCDF(expDays)
-		xs := make([]float64, 0, 29)
-		ys := make([]float64, 0, 29)
+		cdf := stats.NewCDF(out.expDays)
 		for day := 0.0; day <= 7.0; day += 0.25 {
-			xs = append(xs, day)
-			ys = append(ys, cdf.At(day))
+			out.xs = append(out.xs, day)
+			out.ys = append(out.ys, cdf.At(day))
 		}
-		fig.AddSeries(string(region), xs, ys)
 		svc.Disconnect()
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	fig := &report.Figure{
+		ID:     "fig5",
+		Title:  "CDF of estimated fingerprint expiration time",
+		XLabel: "expiration (days)",
+		YLabel: "CDF",
+	}
+	minAbsR := 1.0
+	var allExpDays []float64
+	for ri, r := range regions {
+		region := profiles[ri].Name
+		res.Metrics["histories_"+string(region)] = float64(r.kept)
+		allExpDays = append(allExpDays, r.expDays...)
+		if r.minAbsR < minAbsR {
+			minAbsR = r.minAbsR
+		}
+		fig.AddSeries(string(region), r.xs, r.ys)
 	}
 	res.Figures = append(res.Figures, fig)
 

@@ -54,38 +54,42 @@ func footprintFigure(id, title string, apparent, cumulative []int) *report.Figur
 func runFig7(ctx Context) (*Result, error) {
 	d, _ := ByID("fig7")
 	res := newResult(d)
-	pl := ctx.platform()
-	dc := pl.MustRegion(faas.USEast1)
-	acct := dc.Account("account-1")
+	east := ctx.regionProfile(faas.USEast1)
 
-	// Main experiment: the same service relaunched from cold (45-minute
-	// gaps ensure every old instance is gone and demand history is empty).
-	svc := acct.DeployService("exp2", faas.ServiceConfig{})
-	apparent, cumulative, err := launchSeries(dc, 6, ctx.launchSize(), 45*time.Minute,
-		func(int) *faas.Service { return svc })
-	if err != nil {
-		return nil, err
-	}
-	res.Figures = append(res.Figures,
-		footprintFigure("fig7", "Apparent hosts across cold launches (same service)", apparent, cumulative))
-
-	// Variant: a different, freshly built service per launch — the paper
-	// uses it to rule out container-image data locality as the cause.
-	apVar, cumVar, err := launchSeries(dc, 6, ctx.launchSize(), 45*time.Minute,
-		func(l int) *faas.Service {
+	// Two trials: the main experiment (the same service relaunched from
+	// cold — 45-minute gaps ensure every old instance is gone and demand
+	// history is empty) and the fresh-service variant the paper uses to
+	// rule out container-image data locality as the cause. Each launch
+	// series is inherently sequential, so the trial is the variant.
+	type series struct{ apparent, cumulative []int }
+	variants, err := runTrials(ctx, 2, func(t Trial) (series, error) {
+		pl := faas.MustPlatform(t.Seed, east)
+		dc := pl.MustRegion(faas.USEast1)
+		acct := dc.Account("account-1")
+		svc := func(l int) *faas.Service {
 			return acct.DeployService(fmt.Sprintf("exp2-fresh-%d", l), faas.ServiceConfig{})
-		})
+		}
+		if t.Index == 0 {
+			main := acct.DeployService("exp2", faas.ServiceConfig{})
+			svc = func(int) *faas.Service { return main }
+		}
+		ap, cum, err := launchSeries(dc, 6, ctx.launchSize(), 45*time.Minute, svc)
+		return series{ap, cum}, err
+	})
 	if err != nil {
 		return nil, err
 	}
+	apparent, cumulative := variants[0].apparent, variants[0].cumulative
+	apVar, cumVar := variants[1].apparent, variants[1].cumulative
 	res.Figures = append(res.Figures,
+		footprintFigure("fig7", "Apparent hosts across cold launches (same service)", apparent, cumulative),
 		footprintFigure("fig7-fresh", "Same account, different service per launch", apVar, cumVar))
 
 	res.Metrics["first_launch_hosts"] = float64(apparent[0])
 	res.Metrics["cumulative_after_6"] = float64(cumulative[5])
 	res.Metrics["growth"] = float64(cumulative[5] - apparent[0])
 	res.Metrics["fresh_service_cumulative"] = float64(cumVar[5])
-	res.Metrics["base_pool_size"] = float64(dc.Profile().BasePoolSize)
+	res.Metrics["base_pool_size"] = float64(east.BasePoolSize)
 	res.note("paper: per-launch footprint stays ~constant and cumulative growth is minimal — the account's base hosts; the pattern persists with fresh services")
 	return res, nil
 }

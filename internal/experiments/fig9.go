@@ -15,8 +15,9 @@ func runFig9(ctx Context) (*Result, error) {
 	res := newResult(d)
 
 	// Main run: 10-minute interval. Separate platforms per variant keep
-	// demand state independent while the shared seed keeps the world (hosts,
-	// base pools) identical.
+	// demand state independent while the shared root seed keeps the world
+	// (hosts, base pools) identical — a controlled sweep, so the trial
+	// sub-seed is deliberately ignored.
 	type variant struct {
 		name     string
 		interval time.Duration
@@ -26,15 +27,20 @@ func runFig9(ctx Context) (*Result, error) {
 		{"2min", 2 * time.Minute},
 		{"45min", 45 * time.Minute},
 	}
-	for _, v := range variants {
+	type series struct{ apparent, cumulative []int }
+	runs, err := runTrials(ctx, len(variants), func(t Trial) (series, error) {
 		pl := ctx.platform()
 		dc := pl.MustRegion(faas.USEast1)
 		svc := dc.Account("account-1").DeployService("exp4", faas.ServiceConfig{})
-		apparent, cumulative, err := launchSeries(dc, 6, ctx.launchSize(), v.interval,
+		ap, cum, err := launchSeries(dc, 6, ctx.launchSize(), variants[t.Index].interval,
 			func(int) *faas.Service { return svc })
-		if err != nil {
-			return nil, err
-		}
+		return series{ap, cum}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for vi, v := range variants {
+		apparent, cumulative := runs[vi].apparent, runs[vi].cumulative
 		if v.name == "10min" {
 			res.Figures = append(res.Figures,
 				footprintFigure("fig9", "Apparent hosts with 10-minute launch intervals", apparent, cumulative))

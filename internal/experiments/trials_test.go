@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestRunTrialsPreservesOrder(t *testing.T) {
+	for _, jobs := range []int{1, 4, 16} {
+		ctx := Context{Jobs: jobs}
+		got, err := runTrials(ctx, 37, func(tr Trial) (int, error) {
+			return tr.Index * tr.Index, nil
+		})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if len(got) != 37 {
+			t.Fatalf("jobs=%d: got %d results, want 37", jobs, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("jobs=%d: result[%d] = %d, want %d", jobs, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunTrialsReturnsLowestIndexError(t *testing.T) {
+	for _, jobs := range []int{1, 8} {
+		ctx := Context{Jobs: jobs}
+		_, err := runTrials(ctx, 10, func(tr Trial) (int, error) {
+			if tr.Index == 3 || tr.Index == 7 {
+				return 0, fmt.Errorf("trial %d failed", tr.Index)
+			}
+			return tr.Index, nil
+		})
+		if err == nil {
+			t.Fatalf("jobs=%d: expected an error", jobs)
+		}
+		if got := err.Error(); got != "trial 3 failed" {
+			t.Fatalf("jobs=%d: got error %q, want the lowest-index failure", jobs, got)
+		}
+	}
+}
+
+func TestSplitmixSubSeedsDistinct(t *testing.T) {
+	seen := map[uint64]int{}
+	for _, root := range []uint64{0, 9, 42} {
+		for i := 0; i < 1000; i++ {
+			s := splitmix(root, i)
+			if j, dup := seen[s]; dup {
+				t.Fatalf("seed collision: (root=%d,i=%d) and earlier entry %d", root, i, j)
+			}
+			seen[s] = i
+		}
+	}
+}
+
+func TestRunAllReportsEveryOutcome(t *testing.T) {
+	ids := []string{"verifycost", "no-such-experiment", "freq"}
+	out := RunAll(ids, Context{Seed: 42, Quick: true, Jobs: 4})
+	if len(out) != len(ids) {
+		t.Fatalf("got %d outcomes, want %d", len(out), len(ids))
+	}
+	for i, oc := range out {
+		if oc.ID != ids[i] {
+			t.Fatalf("outcome %d: id %q, want %q", i, oc.ID, ids[i])
+		}
+	}
+	if out[0].Err != nil || out[0].Res == nil {
+		t.Fatalf("verifycost should succeed: %v", out[0].Err)
+	}
+	if out[1].Err == nil {
+		t.Fatal("unknown experiment should fail, not be dropped")
+	}
+	if out[2].Err != nil || out[2].Res == nil {
+		t.Fatalf("freq should still run after an earlier failure: %v", out[2].Err)
+	}
+}
+
+// stripTiming removes the wall-clock metric lines — the only output that
+// legitimately differs between runs of the same seed.
+func stripTiming(s string) string {
+	var keep []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, "runtime_") {
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n")
+}
+
+// TestParallelOutputByteIdentical is the engine's core guarantee: worker
+// count must not influence any experiment output. Every trial derives its
+// world from splitmix(root, index) and results merge by index, so jobs=8
+// must reproduce jobs=1 byte for byte (timing metrics excluded).
+func TestParallelOutputByteIdentical(t *testing.T) {
+	for _, id := range []string{"fig4", "fig11a", "verifycost", "ablations"} {
+		t.Run(id, func(t *testing.T) {
+			seq, err := Run(id, Context{Seed: 42, Quick: true, Jobs: 1})
+			if err != nil {
+				t.Fatalf("jobs=1: %v", err)
+			}
+			par, err := Run(id, Context{Seed: 42, Quick: true, Jobs: 8})
+			if err != nil {
+				t.Fatalf("jobs=8: %v", err)
+			}
+			a, b := stripTiming(seq.String()), stripTiming(par.String())
+			if a != b {
+				t.Errorf("output differs between jobs=1 and jobs=8\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s", a, b)
+			}
+		})
+	}
+}
+
+var errSentinel = errors.New("sentinel")
+
+func TestRunTrialsSequentialStopsEarly(t *testing.T) {
+	calls := 0
+	_, err := runTrials(Context{Jobs: 1}, 10, func(tr Trial) (int, error) {
+		calls++
+		if tr.Index == 2 {
+			return 0, errSentinel
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, errSentinel) {
+		t.Fatalf("got %v, want sentinel", err)
+	}
+	if calls != 3 {
+		t.Fatalf("sequential mode ran %d trials after the failure, want stop at 3", calls)
+	}
+}
