@@ -1,12 +1,19 @@
 GO ?= go
 
-.PHONY: check race bench run-all
+.PHONY: check lint race bench run-all
 
-# Tier-1 gate: build, vet, test.
-check:
+# Tier-1 gate: lint (gofmt + vet), build, test.
+check: lint
 	$(GO) build ./...
-	$(GO) vet ./...
 	$(GO) test ./...
+
+# Fails if any file needs gofmt, then runs vet.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
 
 # Race-detector pass. The trial engine's jobs=8 determinism test exercises
 # the parallel path, so this catches any shared-state leak between trial

@@ -334,6 +334,41 @@ func BenchmarkAblationServiceCount(b *testing.B) {
 	}
 }
 
+// BenchmarkPlacement measures the raw placement path — deploy a fresh
+// service and cold-launch 200 instances — under each placement policy.
+// CloudRun pays for helper-set construction and ranked noisy selection;
+// random-uniform for one fleet-wide sample; least-loaded for a load sort.
+func BenchmarkPlacement(b *testing.B) {
+	for _, pol := range PlacementPolicies() {
+		b.Run(pol.Name(), func(b *testing.B) {
+			p := faas.USEast1Profile()
+			p.Name = "bench"
+			p.NumHosts = 150
+			p.PlacementGroups = 3
+			p.BasePoolSize = 40
+			p.AccountHelperPool = 70
+			p.ServiceHelperSize = 55
+			p.ServiceHelperFresh = 5
+			p.Policy = pol
+			pl := faas.MustPlatform(18, p)
+			dc := pl.MustRegion("bench")
+			acct := dc.Account("a")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				svc := acct.DeployService(fmt.Sprintf("s%d", i), faas.ServiceConfig{})
+				if _, err := svc.Launch(200); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				// Drain the fleet so iterations don't pile up instances.
+				svc.Disconnect()
+				pl.Scheduler().Advance(16 * time.Minute)
+				b.StartTimer()
+			}
+		})
+	}
+}
+
 // BenchmarkAblationChannel compares the paper's RNG covert channel against
 // the memory-bus channel of prior co-location studies: equal verification
 // quality, but the bus channel's multi-second tests dominate the campaign's

@@ -12,7 +12,7 @@ import (
 // runAttack implements `eaao attack`: a parameterized attacker-vs-victim
 // campaign on a fresh simulated platform, printing the coverage report and
 // campaign cost. It is the CLI face of examples/colocation-attack.
-func runAttack(args []string, seed uint64, quick bool) error {
+func runAttack(args []string, seed uint64, quick bool, policy eaao.PlacementPolicy) error {
 	fs := flag.NewFlagSet("attack", flag.ExitOnError)
 	region := fs.String("region", string(eaao.USEast1), "target region (us-east1, us-central1, us-west1)")
 	services := fs.Int("services", 6, "attacker services")
@@ -41,6 +41,11 @@ func runAttack(args []string, seed uint64, quick bool) error {
 		}
 		if *perLaunch == 800 {
 			*perLaunch = 200
+		}
+	}
+	if policy != nil {
+		for i := range profiles {
+			profiles[i].Policy = policy
 		}
 	}
 	pl := eaao.NewPlatform(seed, profiles...)

@@ -12,6 +12,7 @@
 //	-quick     reduced scale (~4x smaller fleet, fewer reps)
 //	-jobs N    worker-pool width for trial repetitions (default NumCPU; 1 = sequential)
 //	-parallel  run whole experiments concurrently through the same bounded pool
+//	-policy P  override every region's placement policy (cloudrun, random-uniform, least-loaded)
 //	-csv       also print each table as CSV
 package main
 
@@ -35,8 +36,19 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of text")
 	parallel := flag.Bool("parallel", false, "run experiments concurrently (each owns its own simulated world)")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "max concurrent trial workers (1 = fully sequential)")
+	policyName := flag.String("policy", "", "override the placement policy in every region (cloudrun, random-uniform, least-loaded)")
 	flag.Usage = usage
 	flag.Parse()
+
+	var policy eaao.PlacementPolicy
+	if *policyName != "" {
+		var err error
+		policy, err = eaao.PlacementPolicyByName(*policyName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eaao: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -46,7 +58,7 @@ func main() {
 
 	switch args[0] {
 	case "attack":
-		if err := runAttack(args[1:], *seed, *quick); err != nil {
+		if err := runAttack(args[1:], *seed, *quick, policy); err != nil {
 			fmt.Fprintf(os.Stderr, "eaao attack: %v\n", err)
 			os.Exit(1)
 		}
@@ -66,7 +78,7 @@ func main() {
 				ids = append(ids, d.ID)
 			}
 		}
-		ctx := eaao.ExperimentContext{Seed: *seed, Quick: *quick, Jobs: *jobs}
+		ctx := eaao.ExperimentContext{Seed: *seed, Quick: *quick, Jobs: *jobs, Policy: policy}
 
 		// Each experiment builds its own deterministic world, so runs are
 		// independent and can proceed concurrently; results print in the

@@ -55,14 +55,18 @@ func TestRunAttackSmoke(t *testing.T) {
 		"-launches", "3",
 		"-victims", "30",
 	}
-	if err := runAttack(args, 42, true); err != nil {
+	if err := runAttack(args, 42, true, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A policy override flows through to the platform build.
+	if err := runAttack(args, 42, true, eaao.RandomUniformPolicy{}); err != nil {
 		t.Fatal(err)
 	}
 	// Unknown strategy and region errors surface.
-	if err := runAttack([]string{"-strategy", "bogus"}, 42, true); err == nil {
+	if err := runAttack([]string{"-strategy", "bogus"}, 42, true, nil); err == nil {
 		t.Error("bogus strategy accepted")
 	}
-	if err := runAttack([]string{"-region", "mars"}, 42, true); err == nil {
+	if err := runAttack([]string{"-region", "mars"}, 42, true, nil); err == nil {
 		t.Error("bogus region accepted")
 	}
 }

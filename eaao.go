@@ -79,6 +79,28 @@ type (
 	Scheduler = simtime.Scheduler
 )
 
+// Placement-policy types (the pluggable orchestrator layer).
+type (
+	// PlacementPolicy is a region's swappable placement engine.
+	PlacementPolicy = faas.PlacementPolicy
+	// PlacementRequest is one batch-placement decision's context.
+	PlacementRequest = faas.PlacementRequest
+	// PlacementBatch is the handle a policy materializes decisions through.
+	PlacementBatch = faas.PlacementBatch
+	// CloudRunPolicy is the calibrated Cloud Run extraction (the default).
+	CloudRunPolicy = faas.CloudRunPolicy
+	// RandomUniformPolicy is the §6 co-location-resistant defense.
+	RandomUniformPolicy = faas.RandomUniformPolicy
+	// LeastLoadedPolicy is a load-driven bin-packing orchestrator.
+	LeastLoadedPolicy = faas.LeastLoadedPolicy
+	// PlacementEvent is one audited placement decision.
+	PlacementEvent = faas.PlacementEvent
+	// PlacementTracer receives placement decisions as they happen.
+	PlacementTracer = faas.PlacementTracer
+	// TraceRing is a bounded in-memory PlacementTracer.
+	TraceRing = faas.TraceRing
+)
+
 // Fingerprinting and verification types (the paper's core contribution).
 type (
 	// Sample is one raw Gen 1 measurement (model, TSC, wall time).
@@ -166,6 +188,18 @@ const (
 
 // DefaultPrecision is the paper's default fingerprint rounding (1 s).
 const DefaultPrecision = fingerprint.DefaultPrecision
+
+// PlacementPolicies returns one instance of every built-in placement policy.
+func PlacementPolicies() []PlacementPolicy { return faas.Policies() }
+
+// PlacementPolicyByName resolves a built-in policy from its name
+// ("cloudrun", "random-uniform", "least-loaded", plus short aliases).
+func PlacementPolicyByName(name string) (PlacementPolicy, error) {
+	return faas.PolicyByName(name)
+}
+
+// NewTraceRing returns a bounded placement tracer holding capacity events.
+func NewTraceRing(capacity int) *TraceRing { return faas.NewTraceRing(capacity) }
 
 // Container sizes of Table 1.
 var (

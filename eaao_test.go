@@ -119,8 +119,8 @@ func TestAttackJourney(t *testing.T) {
 
 func TestExperimentRegistryThroughFacade(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 21 {
-		t.Fatalf("registry has %d experiments, want 21", len(exps))
+	if len(exps) != 22 {
+		t.Fatalf("registry has %d experiments, want 22", len(exps))
 	}
 	res, err := RunExperiment("table1", benchCtx())
 	if err != nil {

@@ -31,6 +31,10 @@ type Context struct {
 	// strictly sequentially. Results are merged by trial index, so every
 	// value of Jobs produces byte-identical output (timing metrics aside).
 	Jobs int
+	// Policy, when non-nil, overrides the placement policy of every region
+	// profile the experiments build (the CLI's -policy flag). nil keeps
+	// each profile's own setting — the calibrated CloudRun behavior.
+	Policy faas.PlacementPolicy
 }
 
 // jobs resolves the effective worker count.
@@ -130,6 +134,9 @@ func init() {
 		{ID: "extraction", Title: "Post-co-location secret extraction demonstrator", PaperRef: "§3 threat model, step 2", Run: runExtraction},
 		{ID: "reattack", Title: "Fingerprint-guided re-attack optimization", PaperRef: "§5.2 optimizations", Run: runReattack},
 		{ID: "ablations", Title: "Design-choice ablation sweeps", PaperRef: "DESIGN.md §4", Run: runAblations},
+		// policyablation is appended after every seed-era artifact so the
+		// frozen golden-digest id list keeps matching the registry prefix.
+		{ID: "policyablation", Title: "Attack outcome under swappable placement policies", PaperRef: "§5.2 + §6, DESIGN.md §2", Run: runPolicyAblation},
 	}
 }
 
@@ -171,6 +178,17 @@ func Run(id string, ctx Context) (*Result, error) {
 // mode while preserving every ratio that matters (instances per host, base
 // pool vs group size, helper pool vs fleet).
 func (c Context) profiles() []faas.RegionProfile {
+	profs := c.baseProfiles()
+	if c.Policy != nil {
+		for i := range profs {
+			profs[i].Policy = c.Policy
+		}
+	}
+	return profs
+}
+
+// baseProfiles returns the region set before any policy override.
+func (c Context) baseProfiles() []faas.RegionProfile {
 	if !c.Quick {
 		return faas.DefaultProfiles()
 	}

@@ -24,7 +24,8 @@ func run(t *testing.T, id string) *Result {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"fig11a", "fig11b", "fig12", "table1", "freq", "verifycost", "gen2",
-		"naive", "cost", "gen2cov", "mitigation", "extraction", "reattack", "ablations"}
+		"naive", "cost", "gen2cov", "mitigation", "extraction", "reattack", "ablations",
+		"policyablation"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
@@ -424,5 +425,32 @@ func TestAblationsExperiment(t *testing.T) {
 	if res.Metrics["dynamic_0.75"] >= res.Metrics["dynamic_0.00"] {
 		t.Errorf("dynamic placement did not erode coverage: %v vs %v",
 			res.Metrics["dynamic_0.75"], res.Metrics["dynamic_0.00"])
+	}
+}
+
+func TestPolicyAblationExperiment(t *testing.T) {
+	res := run(t, "policyablation")
+	cr := res.Metrics["coverage_cloudrun"]
+	ru := res.Metrics["coverage_random_uniform"]
+	ll := res.Metrics["coverage_least_loaded"]
+	// The optimized attack exploits CloudRun-style placement affinity; a
+	// uniform-random scheduler is the §6 mitigation that breaks it.
+	if cr < 0.5 {
+		t.Errorf("coverage under cloudrun policy = %v, want high", cr)
+	}
+	if ru >= cr {
+		t.Errorf("random-uniform did not break the attack: coverage %v vs cloudrun %v", ru, cr)
+	}
+	if ll >= cr {
+		t.Errorf("least-loaded did not reduce coverage: %v vs cloudrun %v", ll, cr)
+	}
+	// Each policy variant records a footprint and a verification cost.
+	for _, key := range []string{"cloudrun", "random_uniform", "least_loaded"} {
+		if res.Metrics["footprint_"+key] <= 0 {
+			t.Errorf("footprint_%s missing", key)
+		}
+		if res.Metrics["verify_tests_"+key] <= 0 {
+			t.Errorf("verify_tests_%s missing", key)
+		}
 	}
 }

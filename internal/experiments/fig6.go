@@ -12,30 +12,45 @@ import (
 func runFig6(ctx Context) (*Result, error) {
 	d, _ := ByID("fig6")
 	res := newResult(d)
-	pl := ctx.platform()
-	dc := pl.MustRegion(faas.USEast1)
 
-	svc := dc.Account("account-1").DeployService("idle-study", faas.ServiceConfig{})
-	insts, err := svc.Launch(ctx.launchSize())
+	// One timeline, one trial: the engine is used for its shared execution
+	// path, not parallelism, so the trial sub-seed is deliberately unused
+	// and the world comes from the root seed as before.
+	type timeline struct {
+		total     int
+		start     simtime.Time
+		termTimes []simtime.Time
+	}
+	runs, err := runTrials(ctx, 1, func(Trial) (timeline, error) {
+		pl := ctx.platform()
+		dc := pl.MustRegion(faas.USEast1)
+
+		svc := dc.Account("account-1").DeployService("idle-study", faas.ServiceConfig{})
+		insts, err := svc.Launch(ctx.launchSize())
+		if err != nil {
+			return timeline{}, err
+		}
+		tl := timeline{total: len(insts)}
+
+		// Trap SIGTERM: the container reports the termination time, as in
+		// the paper's setup.
+		for _, inst := range insts {
+			inst.OnSIGTERM(func(_ *faas.Instance, at simtime.Time) {
+				tl.termTimes = append(tl.termTimes, at)
+			})
+		}
+		dc.Scheduler().Advance(30 * time.Second)
+		svc.Disconnect()
+		tl.start = dc.Now()
+		dc.Scheduler().Advance(16 * time.Minute)
+
+		sort.Slice(tl.termTimes, func(i, j int) bool { return tl.termTimes[i] < tl.termTimes[j] })
+		return tl, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	total := len(insts)
-
-	// Trap SIGTERM: the container reports the termination time, as in the
-	// paper's setup.
-	var termTimes []simtime.Time
-	for _, inst := range insts {
-		inst.OnSIGTERM(func(_ *faas.Instance, at simtime.Time) {
-			termTimes = append(termTimes, at)
-		})
-	}
-	dc.Scheduler().Advance(30 * time.Second)
-	svc.Disconnect()
-	start := dc.Now()
-	dc.Scheduler().Advance(16 * time.Minute)
-
-	sort.Slice(termTimes, func(i, j int) bool { return termTimes[i] < termTimes[j] })
+	total, start, termTimes := runs[0].total, runs[0].start, runs[0].termTimes
 
 	// Sample the idle-instance count every 30 s from disconnect to 16 min.
 	var xs, ys []float64

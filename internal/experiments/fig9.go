@@ -57,58 +57,69 @@ func runFig9(ctx Context) (*Result, error) {
 func runFig10(ctx Context) (*Result, error) {
 	d, _ := ByID("fig10")
 	res := newResult(d)
-	pl := ctx.platform()
-	dc := pl.MustRegion(faas.USEast1)
-	acct := dc.Account("account-1")
 
-	cumulativeHelpers := make(map[fingerprint.Gen1]bool)
-	var perEpisode, cumulative []float64
+	// The six episodes accumulate helper hosts on one timeline, so this is
+	// a single trial on the shared engine path; the trial sub-seed is
+	// deliberately unused.
+	type series struct{ perEpisode, cumulative []float64 }
+	runs, err := runTrials(ctx, 1, func(Trial) (series, error) {
+		pl := ctx.platform()
+		dc := pl.MustRegion(faas.USEast1)
+		acct := dc.Account("account-1")
 
-	for ep := 0; ep < 6; ep++ {
-		svc := acct.DeployService(fmt.Sprintf("exp4-ep%d", ep), faas.ServiceConfig{})
+		cumulativeHelpers := make(map[fingerprint.Gen1]bool)
+		var out series
+		for ep := 0; ep < 6; ep++ {
+			svc := acct.DeployService(fmt.Sprintf("exp4-ep%d", ep), faas.ServiceConfig{})
 
-		// First launch: record the base footprint of this episode.
-		first := attack.NewFootprintTracker(fingerprint.DefaultPrecision)
-		insts, err := svc.Launch(ctx.launchSize())
-		if err != nil {
-			return nil, err
-		}
-		if _, err := first.Record(insts); err != nil {
-			return nil, err
-		}
-		svc.Disconnect()
-		dc.Scheduler().Advance(10 * time.Minute)
-
-		// Five more hot launches at the 10-minute interval.
-		all := attack.NewFootprintTracker(fingerprint.DefaultPrecision)
-		for l := 0; l < 5; l++ {
+			// First launch: record the base footprint of this episode.
+			first := attack.NewFootprintTracker(fingerprint.DefaultPrecision)
 			insts, err := svc.Launch(ctx.launchSize())
 			if err != nil {
-				return nil, err
+				return series{}, err
 			}
-			if _, err := all.Record(insts); err != nil {
-				return nil, err
+			if _, err := first.Record(insts); err != nil {
+				return series{}, err
 			}
 			svc.Disconnect()
 			dc.Scheduler().Advance(10 * time.Minute)
-		}
 
-		// Helper footprint: hosts seen in later launches but not in the
-		// first (base) launch.
-		baseSet := first.Fingerprints()
-		helpers := 0
-		for fp := range all.Fingerprints() {
-			if !baseSet[fp] {
-				helpers++
-				cumulativeHelpers[fp] = true
+			// Five more hot launches at the 10-minute interval.
+			all := attack.NewFootprintTracker(fingerprint.DefaultPrecision)
+			for l := 0; l < 5; l++ {
+				insts, err := svc.Launch(ctx.launchSize())
+				if err != nil {
+					return series{}, err
+				}
+				if _, err := all.Record(insts); err != nil {
+					return series{}, err
+				}
+				svc.Disconnect()
+				dc.Scheduler().Advance(10 * time.Minute)
 			}
-		}
-		perEpisode = append(perEpisode, float64(helpers))
-		cumulative = append(cumulative, float64(len(cumulativeHelpers)))
 
-		// Cool down between episodes so each starts cold.
-		dc.Scheduler().Advance(45 * time.Minute)
+			// Helper footprint: hosts seen in later launches but not in the
+			// first (base) launch.
+			baseSet := first.Fingerprints()
+			helpers := 0
+			for fp := range all.Fingerprints() {
+				if !baseSet[fp] {
+					helpers++
+					cumulativeHelpers[fp] = true
+				}
+			}
+			out.perEpisode = append(out.perEpisode, float64(helpers))
+			out.cumulative = append(out.cumulative, float64(len(cumulativeHelpers)))
+
+			// Cool down between episodes so each starts cold.
+			dc.Scheduler().Advance(45 * time.Minute)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	perEpisode, cumulative := runs[0].perEpisode, runs[0].cumulative
 
 	fig := &report.Figure{
 		ID:     "fig10",

@@ -330,11 +330,11 @@ func TestObs6HelperSetsOverlapAcrossServices(t *testing.T) {
 	s1 := acct.DeployService("s1", ServiceConfig{})
 	s2 := acct.DeployService("s2", ServiceConfig{})
 	set1 := make(map[*Host]bool)
-	for _, h := range s1.helperSet {
+	for _, h := range s1.policyState.(*cloudRunState).helpers {
 		set1[h] = true
 	}
 	overlap, fresh := 0, 0
-	for _, h := range s2.helperSet {
+	for _, h := range s2.policyState.(*cloudRunState).helpers {
 		if set1[h] {
 			overlap++
 		} else {

@@ -144,9 +144,20 @@ func (i *Instance) terminate(now simtime.Time) {
 	if i.state == StateActive {
 		i.service.account.accrue(i, i.activeSince, now)
 	}
+	wasIdle := i.state == StateIdle
 	i.state = StateTerminated
 	i.host.detach(i)
 	i.service.removeInstance(i)
+	if wasIdle {
+		// The platform reclaimed an idle instance (the reaper, or a bulk
+		// teardown): let the policy update any external load bookkeeping.
+		dc := i.service.account.dc
+		dc.policy.OnIdleTermination(i, now)
+		dc.trace(PlacementEvent{
+			Account: i.service.account.id, Service: i.service.name,
+			Kind: TraceIdleTerm, Count: 1,
+		})
+	}
 	if i.sigterm != nil {
 		i.sigterm(i, now)
 	}

@@ -90,6 +90,14 @@ type DataCenter struct {
 	accounts map[string]*Account
 	acctSeq  []string // creation order, for deterministic iteration
 	nextInst int
+
+	// policy is the region's placement engine, resolved once from the
+	// profile at construction; all placement decisions flow through it.
+	policy PlacementPolicy
+	// tracer, when installed, receives every placement decision; traceSeq
+	// numbers the events.
+	tracer   PlacementTracer
+	traceSeq uint64
 }
 
 func newDataCenter(p *Platform, prof RegionProfile) *DataCenter {
@@ -98,6 +106,7 @@ func newDataCenter(p *Platform, prof RegionProfile) *DataCenter {
 		profile:  prof,
 		rng:      p.rng.Derive("dc", string(prof.Name)),
 		accounts: make(map[string]*Account),
+		policy:   policyFor(prof),
 	}
 	boots := sampleBootTimes(dc.rng.Derive("boots"), prof, p.sched.Now())
 	dc.hosts = make([]*Host, prof.NumHosts)
@@ -110,6 +119,9 @@ func newDataCenter(p *Platform, prof RegionProfile) *DataCenter {
 
 // Profile returns the region profile the data center was built from.
 func (dc *DataCenter) Profile() RegionProfile { return dc.profile }
+
+// Policy returns the region's resolved placement policy.
+func (dc *DataCenter) Policy() PlacementPolicy { return dc.policy }
 
 // Scheduler returns the platform's virtual clock.
 func (dc *DataCenter) Scheduler() *simtime.Scheduler { return dc.platform.sched }

@@ -1,0 +1,160 @@
+package faas
+
+import (
+	"sort"
+
+	"eaao/internal/randx"
+	"eaao/internal/simtime"
+)
+
+// CloudRunPolicy is the calibrated reproduction of the placement behavior the
+// paper reverse-engineered on Google Cloud Run (§5.1, Obs. 1–6): stable
+// per-account base pools packed near-uniformly, per-service helper sets
+// unlocked proportionally to the demand streak, and base-pool recycling for
+// migrated instances. It is the default policy of every region profile.
+type CloudRunPolicy struct {
+	policyDefaults
+}
+
+// cloudRunState is CloudRunPolicy's per-service state: the
+// preference-ordered helper hosts the service can expand onto. How many are
+// unlocked is a pure function of the demand streak, recomputed per placement.
+type cloudRunState struct {
+	helpers []*Host
+}
+
+// Name returns "cloudrun".
+func (CloudRunPolicy) Name() string { return "cloudrun" }
+
+// NewService builds the service's helper set from the deployment-time
+// preference stream.
+func (CloudRunPolicy) NewService(svc *Service, rng *randx.Source) any {
+	return &cloudRunState{helpers: buildHelperSet(svc, rng)}
+}
+
+// Place splits the batch between helper hosts (when demand has unlocked any)
+// and the account's base hosts.
+func (CloudRunPolicy) Place(req PlacementRequest, b *PlacementBatch) {
+	s := req.Service
+	p := s.account.dc.profile
+	st := s.policyState.(*cloudRunState)
+
+	// Helper hosts unlock proportionally to the streak, saturating after
+	// HelperSaturationLaunches hot launches (Obs. 5). The unlocked count is
+	// monotone within a streak and resets on cold, so recomputing it here is
+	// equivalent to tracking a running maximum across launches.
+	helperFrac := 0.0
+	helperActive := 0
+	if req.HotStreak > 0 {
+		steps := req.HotStreak
+		if steps > p.HelperSaturationLaunches {
+			steps = p.HelperSaturationLaunches
+		}
+		helperFrac = 0.3 * float64(steps)
+		if helperFrac > 0.85 {
+			helperFrac = 0.85
+		}
+		helperActive = len(st.helpers) * steps / p.HelperSaturationLaunches
+	}
+	helperN := int(helperFrac * float64(req.Count))
+
+	// Helper placement: thin spread across the entire unlocked helper
+	// window — the load balancer's goal is relieving the base hosts, so it
+	// spreads as wide as the window allows (at most HelperPerHostCap per
+	// host). Anything the unlocked helpers cannot absorb spills to base.
+	if helperN > 0 && helperActive > 0 {
+		active := st.helpers[:helperActive]
+		placed := helperN
+		if capacity := len(active) * p.HelperPerHostCap; placed > capacity {
+			placed = capacity
+		}
+		b.Spread(active, placed)
+	}
+
+	// Base placement: near-uniform packing (10–11 per host, Obs. 1) over a
+	// preference-weighted selection from the account's base pool.
+	baseN := req.Count - b.Placed()
+	if baseN > 0 {
+		hostCount := (baseN + p.BasePerHostCap - 1) / p.BasePerHostCap
+		if hostCount > len(s.account.basePool) {
+			hostCount = len(s.account.basePool)
+		}
+		hosts := rankedBaseSelection(req.RNG, s.account.basePool, hostCount)
+		b.Spread(hosts, baseN)
+	}
+}
+
+// Recycle re-places a migrated instance onto a noisy base-pool selection,
+// keeping the tenant's footprint anchored to its base hosts.
+func (CloudRunPolicy) Recycle(svc *Service, oldID string, now simtime.Time) *Host {
+	return recycleBaseDraw(svc, oldID)
+}
+
+// OnDemandDecay resamples part of the base pool in dynamic regions
+// (us-central1) whenever the service goes cold.
+func (CloudRunPolicy) OnDemandDecay(svc *Service, now simtime.Time) {
+	dynamicDecay(svc)
+}
+
+// buildHelperSet composes a service's helper hosts: mostly a draw from the
+// account-level helper pool (so same-account services overlap heavily),
+// plus a few fresh fleet-wide hosts interleaved throughout the expansion
+// order (so each new service's footprint grows the cumulative one, Fig. 10).
+func buildHelperSet(s *Service, rng *randx.Source) []*Host {
+	p := s.account.dc.profile
+	fromAccount := noisyTopSample(rng, s.account.helpers, p.ServiceHelperSize, sigmaHelper, nil)
+	excl := make(map[*Host]bool, len(fromAccount))
+	for _, h := range fromAccount {
+		excl[h] = true
+	}
+	for _, h := range s.account.basePool {
+		excl[h] = true // base hosts are not helpers
+	}
+	fresh := noisyTopSample(rng, s.account.dc.hosts, p.ServiceHelperFresh, sigmaFresh, excl)
+
+	// Interleave fresh entries uniformly into the account-pool order.
+	out := make([]*Host, 0, len(fromAccount)+len(fresh))
+	out = append(out, fromAccount...)
+	for _, h := range fresh {
+		pos := rng.Intn(len(out) + 1)
+		out = append(out, nil)
+		copy(out[pos+1:], out[pos:])
+		out[pos] = h
+	}
+	return out
+}
+
+// rankedBaseSelection picks hostCount hosts from the preference-ordered base
+// pool by noisy rank: the front of the pool is used on virtually every
+// launch (so a tenant's repeated launches reuse the same hosts — the
+// stability the re-attack optimization banks on), while rank noise lets
+// repeated cold launches slowly explore the pool tail (Fig. 7's slight
+// cumulative growth).
+func rankedBaseSelection(rng *randx.Source, pool []*Host, hostCount int) []*Host {
+	if hostCount >= len(pool) {
+		return append([]*Host(nil), pool...)
+	}
+	const rankNoise = 3.0
+	type scored struct {
+		h     *Host
+		score float64
+	}
+	cand := make([]scored, len(pool))
+	for i, h := range pool {
+		cand[i] = scored{h: h, score: float64(i) + rng.Normal(0, rankNoise)}
+	}
+	sort.Slice(cand, func(i, j int) bool { return cand[i].score < cand[j].score })
+	out := make([]*Host, hostCount)
+	for i := range out {
+		out[i] = cand[i].h
+	}
+	return out
+}
+
+// recycleBaseDraw is the platform's historical replacement-host draw: a
+// noisy base-pool selection seeded by the recycled instance's identity.
+func recycleBaseDraw(svc *Service, oldID string) *Host {
+	hostCount := 1 + len(svc.account.basePool)/8
+	hosts := rankedBaseSelection(svc.rng.Derive("recycle", oldID), svc.account.basePool, hostCount)
+	return hosts[svc.rng.Intn(len(hosts))]
+}

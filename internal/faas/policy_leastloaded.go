@@ -1,0 +1,35 @@
+package faas
+
+import "eaao/internal/simtime"
+
+// LeastLoadedPolicy is a classic bin-packing orchestrator: every batch goes
+// to the currently emptiest hosts, packed at the usual base density, with no
+// per-tenant affinity state at all. It exists to prove the policy layer is
+// genuinely pluggable and as a middle point for the policy-ablation study:
+// placement is fully deterministic given fleet load, so an attacker who can
+// raise load pressure steers their own placement — but in a quiet fleet
+// everyone's instances funnel onto the same few hosts.
+type LeastLoadedPolicy struct {
+	policyDefaults
+}
+
+// Name returns "least-loaded".
+func (LeastLoadedPolicy) Name() string { return "least-loaded" }
+
+// Place packs the batch onto the emptiest hosts at base density. It draws no
+// randomness: ties break by host id, so placement is a pure function of
+// fleet load.
+func (LeastLoadedPolicy) Place(req PlacementRequest, b *PlacementBatch) {
+	s := req.Service
+	p := s.account.dc.profile
+	hostCount := (req.Count + p.BasePerHostCap - 1) / p.BasePerHostCap
+	if hostCount > len(s.account.dc.hosts) {
+		hostCount = len(s.account.dc.hosts)
+	}
+	b.Spread(hostsByLoad(s.account.dc.hosts)[:hostCount], req.Count)
+}
+
+// Recycle moves the migrated instance to the emptiest host.
+func (LeastLoadedPolicy) Recycle(svc *Service, oldID string, now simtime.Time) *Host {
+	return hostsByLoad(svc.account.dc.hosts)[0]
+}

@@ -145,7 +145,15 @@ type RegionProfile struct {
 	// fleet. It removes the placement structure the attack exploits — at
 	// the price of image locality (every launch lands mostly on hosts that
 	// have never run the service, i.e. cold starts).
+	//
+	// Deprecated: this is the historical knob, kept working; it maps to
+	// RandomUniformPolicy. Set Policy instead, which always wins.
 	RandomPlacement bool
+
+	// Policy selects the region's placement engine. nil means the default:
+	// CloudRunPolicy (or RandomUniformPolicy when the deprecated
+	// RandomPlacement bool is set).
+	Policy PlacementPolicy
 }
 
 // Validate checks the profile for internal consistency.

@@ -3,7 +3,6 @@ package faas
 import (
 	"fmt"
 	"math"
-	"sort"
 	"time"
 
 	"eaao/internal/randx"
@@ -24,11 +23,9 @@ type Service struct {
 	// insts holds non-terminated instances in creation order.
 	insts []*Instance
 
-	// helperSet is the preference-ordered helper hosts this service can
-	// expand onto; helperActive is how many are currently unlocked by the
-	// demand streak.
-	helperSet    []*Host
-	helperActive int
+	// policyState is the placement policy's opaque per-service state (e.g.
+	// CloudRunPolicy keeps the preference-ordered helper set here).
+	policyState any
 
 	hasLaunched bool
 	lastLaunch  simtime.Time
@@ -59,7 +56,7 @@ func newService(a *Account, name string, cfg ServiceConfig) *Service {
 		maxConcurrency: cfg.MaxConcurrency,
 	}
 	s.seenHosts = make(map[*Host]bool)
-	s.helperSet = s.buildHelperSet(rng.Derive("helperset"))
+	s.policyState = a.dc.policy.NewService(s, rng.Derive("helperset"))
 	return s
 }
 
@@ -73,34 +70,6 @@ func (s *Service) ColdHostFraction() float64 {
 		return 0
 	}
 	return float64(s.coldLaunchHosts) / float64(s.usedLaunchHosts)
-}
-
-// buildHelperSet composes the service's helper hosts: mostly a draw from the
-// account-level helper pool (so same-account services overlap heavily),
-// plus a few fresh fleet-wide hosts interleaved throughout the expansion
-// order (so each new service's footprint grows the cumulative one, Fig. 10).
-func (s *Service) buildHelperSet(rng *randx.Source) []*Host {
-	p := s.account.dc.profile
-	fromAccount := noisyTopSample(rng, s.account.helpers, p.ServiceHelperSize, sigmaHelper, nil)
-	excl := make(map[*Host]bool, len(fromAccount))
-	for _, h := range fromAccount {
-		excl[h] = true
-	}
-	for _, h := range s.account.basePool {
-		excl[h] = true // base hosts are not helpers
-	}
-	fresh := noisyTopSample(rng, s.account.dc.hosts, p.ServiceHelperFresh, sigmaFresh, excl)
-
-	// Interleave fresh entries uniformly into the account-pool order.
-	out := make([]*Host, 0, len(fromAccount)+len(fresh))
-	out = append(out, fromAccount...)
-	for _, h := range fresh {
-		pos := rng.Intn(len(out) + 1)
-		out = append(out, nil)
-		copy(out[pos+1:], out[pos:])
-		out[pos] = h
-	}
-	return out
 }
 
 // Name returns the service name.
@@ -161,33 +130,20 @@ func (s *Service) Launch(n int) ([]*Instance, error) {
 
 	// Demand bookkeeping: a launch arriving within the demand window of the
 	// previous one marks the service as increasingly hot; otherwise the
-	// service has gone cold.
+	// service has gone cold and the policy reacts (dynamic regions resample
+	// part of the base pool here).
 	if s.hasLaunched && now.Sub(s.lastLaunch) <= p.DemandWindow {
 		s.hotStreak++
 	} else {
 		s.hotStreak = 0
-		if p.DynamicPlacement {
-			s.account.resampleBasePool(p.DynamicResampleFrac)
-		}
+		s.account.dc.policy.OnDemandDecay(s, now)
+		s.account.dc.trace(PlacementEvent{
+			Account: s.account.id, Service: s.name, Kind: TraceDemandDecay,
+		})
 	}
 	s.hasLaunched = true
 	s.lastLaunch = now
 	s.account.bill.Launches++
-
-	// Unlock helper hosts proportionally to the streak, saturating after
-	// HelperSaturationLaunches hot launches (Obs. 5).
-	if s.hotStreak > 0 {
-		steps := s.hotStreak
-		if steps > p.HelperSaturationLaunches {
-			steps = p.HelperSaturationLaunches
-		}
-		unlocked := len(s.helperSet) * steps / p.HelperSaturationLaunches
-		if unlocked > s.helperActive {
-			s.helperActive = unlocked
-		}
-	} else {
-		s.helperActive = 0
-	}
 
 	// Reuse whatever is already running: active instances count as-is, idle
 	// ones are reconnected warm.
@@ -228,102 +184,29 @@ func (s *Service) Launch(n int) ([]*Instance, error) {
 	return connected, nil
 }
 
-// placeNew creates count new instances, splitting them between helper hosts
-// (when demand has unlocked any) and the account's base hosts. Under the
-// co-location-resistant defense (RandomPlacement), all structure is ignored
-// and instances scatter uniformly.
+// placeNew creates count new instances through the region's placement
+// policy, handing it the demand-window state and the service's placement
+// stream, and traces the resulting batch.
 func (s *Service) placeNew(count int, now simtime.Time) []*Instance {
-	p := s.account.dc.profile
-
-	if p.RandomPlacement {
-		hostCount := (count + p.BasePerHostCap - 1) / p.BasePerHostCap
-		if hostCount > len(s.account.dc.hosts) {
-			hostCount = len(s.account.dc.hosts)
+	b := &PlacementBatch{svc: s, now: now}
+	s.account.dc.policy.Place(PlacementRequest{
+		Service:   s,
+		Count:     count,
+		Now:       now,
+		HotStreak: s.hotStreak,
+		RNG:       s.rng,
+	}, b)
+	if s.account.dc.tracer != nil {
+		hosts := make(map[*Host]bool, len(b.out))
+		for _, inst := range b.out {
+			hosts[inst.host] = true
 		}
-		idx := s.rng.Sample(len(s.account.dc.hosts), hostCount)
-		hosts := make([]*Host, hostCount)
-		for i, j := range idx {
-			hosts[i] = s.account.dc.hosts[j]
-		}
-		return s.spread(hosts, count, now)
+		s.account.dc.trace(PlacementEvent{
+			Account: s.account.id, Service: s.name, Kind: TracePlace,
+			Count: len(b.out), Hosts: len(hosts), HotStreak: s.hotStreak,
+		})
 	}
-
-	helperFrac := 0.0
-	if s.hotStreak > 0 {
-		steps := s.hotStreak
-		if steps > p.HelperSaturationLaunches {
-			steps = p.HelperSaturationLaunches
-		}
-		helperFrac = 0.3 * float64(steps)
-		if helperFrac > 0.85 {
-			helperFrac = 0.85
-		}
-	}
-	helperN := int(helperFrac * float64(count))
-
-	out := make([]*Instance, 0, count)
-
-	// Helper placement: thin spread across the entire unlocked helper
-	// window — the load balancer's goal is relieving the base hosts, so it
-	// spreads as wide as the window allows (at most HelperPerHostCap per
-	// host). Anything the unlocked helpers cannot absorb spills to base.
-	if helperN > 0 && s.helperActive > 0 {
-		active := s.helperSet[:s.helperActive]
-		placed := helperN
-		if capacity := len(active) * p.HelperPerHostCap; placed > capacity {
-			placed = capacity
-		}
-		out = append(out, s.spread(active, placed, now)...)
-	}
-
-	// Base placement: near-uniform packing (10–11 per host, Obs. 1) over a
-	// preference-weighted selection from the account's base pool.
-	baseN := count - len(out)
-	if baseN > 0 {
-		hostCount := (baseN + p.BasePerHostCap - 1) / p.BasePerHostCap
-		if hostCount > len(s.account.basePool) {
-			hostCount = len(s.account.basePool)
-		}
-		hosts := rankedBaseSelection(s.rng, s.account.basePool, hostCount)
-		out = append(out, s.spread(hosts, baseN, now)...)
-	}
-	return out
-}
-
-// rankedBaseSelection picks hostCount hosts from the preference-ordered base
-// pool by noisy rank: the front of the pool is used on virtually every
-// launch (so a tenant's repeated launches reuse the same hosts — the
-// stability the re-attack optimization banks on), while rank noise lets
-// repeated cold launches slowly explore the pool tail (Fig. 7's slight
-// cumulative growth).
-func rankedBaseSelection(rng *randx.Source, pool []*Host, hostCount int) []*Host {
-	if hostCount >= len(pool) {
-		return append([]*Host(nil), pool...)
-	}
-	const rankNoise = 3.0
-	type scored struct {
-		h     *Host
-		score float64
-	}
-	cand := make([]scored, len(pool))
-	for i, h := range pool {
-		cand[i] = scored{h: h, score: float64(i) + rng.Normal(0, rankNoise)}
-	}
-	sort.Slice(cand, func(i, j int) bool { return cand[i].score < cand[j].score })
-	out := make([]*Host, hostCount)
-	for i := range out {
-		out[i] = cand[i].h
-	}
-	return out
-}
-
-// spread distributes count new instances round-robin across hosts.
-func (s *Service) spread(hosts []*Host, count int, now simtime.Time) []*Instance {
-	out := make([]*Instance, 0, count)
-	for i := 0; i < count; i++ {
-		out = append(out, s.createInstance(hosts[i%len(hosts)], now))
-	}
-	return out
+	return b.out
 }
 
 // Container startup latencies (§2.3): Gen 1 Linux containers have "a small
@@ -406,13 +289,16 @@ func (s *Service) TerminateAll() {
 }
 
 // recycle terminates one connected instance and immediately creates a
-// replacement elsewhere, keeping the connection count; models the platform
-// occasionally migrating long-running instances.
+// replacement wherever the policy directs, keeping the connection count;
+// models the platform occasionally migrating long-running instances.
 func (s *Service) recycle(inst *Instance, now simtime.Time) {
 	inst.terminate(now)
-	hostCount := 1 + len(s.account.basePool)/8
-	hosts := rankedBaseSelection(s.rng.Derive("recycle", inst.id), s.account.basePool, hostCount)
-	s.createInstance(hosts[s.rng.Intn(len(hosts))], now)
+	h := s.account.dc.policy.Recycle(s, inst.id, now)
+	s.createInstance(h, now)
+	s.account.dc.trace(PlacementEvent{
+		Account: s.account.id, Service: s.name, Kind: TraceRecycle,
+		Count: 1, Hosts: 1, HotStreak: s.hotStreak,
+	})
 }
 
 // removeInstance drops a terminated instance from the service's list.
