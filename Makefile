@@ -1,11 +1,17 @@
 GO ?= go
 
-.PHONY: check lint race bench run-all
+.PHONY: check lint race bench bench-json bench-diff run-all
 
-# Tier-1 gate: lint (gofmt + vet), build, test.
+# Tier-1 gate: lint (gofmt + vet), build, test, and a smoke run of the
+# benchmark record tooling against the checked-in fixture.
 check: lint
 	$(GO) build ./...
 	$(GO) test ./...
+	@$(GO) run ./internal/tools/benchjson -label smoke \
+		-in internal/tools/benchfmt/testdata/sample_bench.txt -out /tmp/BENCH_smoke.json
+	@$(GO) run ./internal/tools/benchdiff /tmp/BENCH_smoke.json /tmp/BENCH_smoke.json >/dev/null
+	@rm -f /tmp/BENCH_smoke.json
+	@echo "bench tooling smoke OK"
 
 # Fails if any file needs gofmt, then runs vet.
 lint:
@@ -23,6 +29,17 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Snapshot the benchmark suite into BENCH_<git-short-sha>.json. Run on a
+# quiet machine; the record is meant to be checked in.
+bench-json:
+	$(GO) test -bench=. -benchmem | \
+		$(GO) run ./internal/tools/benchjson -label $$(git rev-parse --short HEAD) \
+		-out BENCH_$$(git rev-parse --short HEAD).json
+
+# Compare two records: make bench-diff BASE=BENCH_baseline.json HEAD=BENCH_pr3.json
+bench-diff:
+	$(GO) run ./internal/tools/benchdiff $(BASE) $(HEAD)
 
 run-all:
 	$(GO) run ./cmd/eaao run all

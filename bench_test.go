@@ -163,7 +163,7 @@ func gen1Items(insts []*Instance, precision time.Duration) []coloc.Item {
 			panic(err)
 		}
 		fp := fingerprint.Gen1FromSample(s, precision)
-		items[i] = coloc.Item{Inst: inst, Fingerprint: fp.String(), ConflictKey: fp.Model}
+		items[i] = coloc.Item{Inst: inst, Fingerprint: fp.Key(), ConflictKey: fp.Model}
 	}
 	return items
 }

@@ -14,6 +14,8 @@
 //	-parallel  run whole experiments concurrently through the same bounded pool
 //	-policy P  override every region's placement policy (cloudrun, random-uniform, least-loaded)
 //	-csv       also print each table as CSV
+//	-cpuprofile F  write a CPU profile of the run to F (runtime/pprof)
+//	-memprofile F  write an allocation profile at exit to F
 package main
 
 import (
@@ -29,6 +31,12 @@ import (
 )
 
 func main() {
+	// All work happens in run so that deferred teardown (profile writers)
+	// executes before the process exits.
+	os.Exit(run())
+}
+
+func run() int {
 	seed := flag.Uint64("seed", 9, "root random seed")
 	quick := flag.Bool("quick", false, "reduced scale for fast runs")
 	csv := flag.Bool("csv", false, "print tables as CSV too")
@@ -37,8 +45,35 @@ func main() {
 	parallel := flag.Bool("parallel", false, "run experiments concurrently (each owns its own simulated world)")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "max concurrent trial workers (1 = fully sequential)")
 	policyName := flag.String("policy", "", "override the placement policy in every region (cloudrun, random-uniform, least-loaded)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Usage = usage
 	flag.Parse()
+
+	args := flag.Args()
+	if len(args) > 0 && (args[0] == "run" || args[0] == "list") {
+		// Accept global flags after the subcommand too (flag.Parse stops at
+		// the first positional, so `eaao run fig11a -quick` would otherwise
+		// read -quick as an experiment id). The attack subcommand keeps its
+		// own flag set and is left alone.
+		args = append(args[:1], reparseTail(args[1:])...)
+	}
+
+	if *cpuProfile != "" {
+		stop, err := startCPUProfile(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eaao: %v\n", err)
+			return 1
+		}
+		defer stop()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := writeMemProfile(*memProfile); err != nil {
+				fmt.Fprintf(os.Stderr, "eaao: %v\n", err)
+			}
+		}()
+	}
 
 	var policy eaao.PlacementPolicy
 	if *policyName != "" {
@@ -46,21 +81,20 @@ func main() {
 		policy, err = eaao.PlacementPolicyByName(*policyName)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "eaao: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 	}
 
-	args := flag.Args()
 	if len(args) == 0 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
 
 	switch args[0] {
 	case "attack":
 		if err := runAttack(args[1:], *seed, *quick, policy); err != nil {
 			fmt.Fprintf(os.Stderr, "eaao attack: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	case "list":
 		for _, d := range eaao.Experiments() {
@@ -70,7 +104,7 @@ func main() {
 		ids := args[1:]
 		if len(ids) == 0 {
 			fmt.Fprintln(os.Stderr, "eaao run: no experiment ids (try 'eaao list' or 'eaao run all')")
-			os.Exit(2)
+			return 2
 		}
 		if len(ids) == 1 && ids[0] == "all" {
 			ids = nil
@@ -133,12 +167,31 @@ func main() {
 		}
 		if failures > 0 {
 			fmt.Fprintf(os.Stderr, "eaao: %d of %d experiments failed\n", failures, len(outcomes))
-			os.Exit(1)
+			return 1
 		}
 	default:
 		usage()
-		os.Exit(2)
+		return 2
 	}
+	return 0
+}
+
+// reparseTail separates positional arguments from global flags that appear
+// after the subcommand, feeding each flag run back through the command-line
+// flag set. Returns the positionals in order.
+func reparseTail(args []string) []string {
+	var pos []string
+	for len(args) > 0 {
+		a := args[0]
+		if len(a) > 1 && a[0] == '-' {
+			flag.CommandLine.Parse(args)
+			args = flag.CommandLine.Args()
+			continue
+		}
+		pos = append(pos, a)
+		args = args[1:]
+	}
+	return pos
 }
 
 // writeSVGs renders every figure of a result into dir. Figures whose x axis

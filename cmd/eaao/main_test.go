@@ -47,6 +47,44 @@ func TestWriteSVGsLogAxis(t *testing.T) {
 	}
 }
 
+func TestCPUProfileWritesValidProfile(t *testing.T) {
+	// The acceptance path is `eaao -cpuprofile cpu.out run fig11a -quick`:
+	// profile an experiment run and verify the output is a real pprof
+	// profile. runtime/pprof emits gzipped protobuf, so the file must start
+	// with the gzip magic (0x1f 0x8b) — checked directly, no pprof tooling.
+	path := filepath.Join(t.TempDir(), "cpu.out")
+	stop, err := startCPUProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, runErr := eaao.RunExperiment("fig11a", eaao.ExperimentContext{Seed: 42, Quick: true})
+	stop()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+		t.Fatalf("cpu profile does not start with gzip magic: % x", data[:min(len(data), 4)])
+	}
+}
+
+func TestMemProfileWritesValidProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mem.out")
+	if err := writeMemProfile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+		t.Fatalf("mem profile does not start with gzip magic: % x", data[:min(len(data), 4)])
+	}
+}
+
 func TestRunAttackSmoke(t *testing.T) {
 	args := []string{
 		"-region", "us-west1",

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// startCPUProfile begins CPU profiling into path and returns the stop
+// function to defer. Profiles are standard runtime/pprof output (gzipped
+// protobuf), readable with `go tool pprof`.
+func startCPUProfile(path string) (func(), error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeMemProfile snapshots the allocation profile into path. It runs a GC
+// first so the heap numbers reflect live data rather than collection timing;
+// the "allocs" profile still carries cumulative allocation counts, which is
+// what hot-path hunting needs.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
+}

@@ -109,6 +109,10 @@ type (
 	Gen1Fingerprint = fingerprint.Gen1
 	// Gen2Fingerprint identifies a host by its refined TSC frequency.
 	Gen2Fingerprint = fingerprint.Gen2
+	// FingerprintKey is the comparable fingerprint identity used to group
+	// instances (VerifyItem.Fingerprint); build one with the fingerprints'
+	// Key methods.
+	FingerprintKey = fingerprint.Key
 	// FingerprintHistory tracks derived boot times over time (drift).
 	FingerprintHistory = fingerprint.History
 	// Drift is a fitted linear boot-time drift.

@@ -24,7 +24,7 @@ func TestQuickstartJourney(t *testing.T) {
 			t.Fatal(err)
 		}
 		fp := Gen1FromSample(sample, DefaultPrecision)
-		items[i] = VerifyItem{Inst: inst, Fingerprint: fp.String(), ConflictKey: fp.Model}
+		items[i] = VerifyItem{Inst: inst, Fingerprint: fp.Key(), ConflictKey: fp.Model}
 	}
 	tester := NewCovertTester(pl.Scheduler())
 	res, err := VerifyColocation(tester, items, DefaultVerifyOptions())

@@ -32,7 +32,7 @@ func ExampleVerifyColocation() {
 	for i, inst := range insts {
 		s, _ := eaao.CollectGen1(inst.MustGuest())
 		fp := eaao.Gen1FromSample(s, eaao.DefaultPrecision)
-		items[i] = eaao.VerifyItem{Inst: inst, Fingerprint: fp.String(), ConflictKey: fp.Model}
+		items[i] = eaao.VerifyItem{Inst: inst, Fingerprint: fp.Key(), ConflictKey: fp.Model}
 	}
 	tester := eaao.NewCovertTester(pl.Scheduler())
 	res, _ := eaao.VerifyColocation(tester, items, eaao.DefaultVerifyOptions())

@@ -176,20 +176,20 @@ func makeItem(inst *faas.Instance, precision time.Duration, gen2 bool) (coloc.It
 		if err != nil {
 			return coloc.Item{}, err
 		}
-		return coloc.Item{Inst: inst, Fingerprint: fp.String(), ConflictKey: fp.Model}, nil
+		return coloc.Item{Inst: inst, Fingerprint: fp.Key(), ConflictKey: fp.Model}, nil
 	}
 	s, err := fingerprint.CollectGen1(g)
 	if err != nil {
 		return coloc.Item{}, err
 	}
 	fp := fingerprint.Gen1FromSample(s, precision)
-	return coloc.Item{Inst: inst, Fingerprint: fp.String(), ConflictKey: fp.Model}, nil
+	return coloc.Item{Inst: inst, Fingerprint: fp.Key(), ConflictKey: fp.Model}, nil
 }
 
 // dedupeByFingerprint keeps the first instance per apparent host (Gen 1
 // fingerprints only).
 func dedupeByFingerprint(insts []*faas.Instance, precision time.Duration) ([]*faas.Instance, error) {
-	seen := make(map[string]bool, len(insts))
+	seen := make(map[fingerprint.Key]bool, len(insts))
 	var out []*faas.Instance
 	for _, inst := range insts {
 		it, err := makeItem(inst, precision, false)

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"eaao/internal/core/covert"
+	"eaao/internal/core/fingerprint"
 	"eaao/internal/faas"
 )
 
@@ -31,9 +32,9 @@ import (
 type Item struct {
 	// Inst is the live instance.
 	Inst *faas.Instance
-	// Fingerprint is the grouping key (any stable rendering of the host
-	// fingerprint).
-	Fingerprint string
+	// Fingerprint is the comparable grouping key (fingerprint.Key is a
+	// fixed-size struct, so grouping never allocates or hashes strings).
+	Fingerprint fingerprint.Key
 	// ConflictKey marks tests that would interfere if run concurrently:
 	// groups with *different* conflict keys are guaranteed to sit on
 	// different hosts (e.g. different CPU models) and may verify in
@@ -84,6 +85,9 @@ type verifier struct {
 	tester *covert.Tester
 	opt    Options
 	res    *Result
+	// instBuf is the scratch instance slice handed to CTest; reused across
+	// every small-group test of the run (CTest never retains it).
+	instBuf []*faas.Instance
 }
 
 // Verify runs the scalable methodology over the items.
@@ -94,8 +98,8 @@ func Verify(tester *covert.Tester, items []Item, opt Options) (*Result, error) {
 	v := &verifier{tester: tester, opt: opt, res: &Result{}}
 
 	// Step 1: group by fingerprint, preserving first-seen order.
-	groupOf := make(map[string][]int)
-	var order []string
+	groupOf := make(map[fingerprint.Key][]int)
+	var order []fingerprint.Key
 	for i, it := range items {
 		if _, seen := groupOf[it.Fingerprint]; !seen {
 			order = append(order, it.Fingerprint)
@@ -129,12 +133,18 @@ func Verify(tester *covert.Tester, items []Item, opt Options) (*Result, error) {
 		}
 		clusters = append(clusters, parts...)
 	}
-	step2Wall := 0
-	for _, n := range testsByKey {
-		if n > step2Wall {
-			step2Wall = n
+	// An empty ConflictKey means "conflicts with everything" (see Item), so
+	// its tests serialize against every lane: wall time is the empty lane
+	// plus the widest keyed lane, not the maximum over lanes with "" treated
+	// as one more independent lane.
+	step2Wall := testsByKey[""]
+	maxKeyed := 0
+	for key, n := range testsByKey {
+		if key != "" && n > maxKeyed {
+			maxKeyed = n
 		}
 	}
+	step2Wall += maxKeyed
 
 	// Step 3: find false negatives across clusters.
 	step3Tests := 0
@@ -220,10 +230,11 @@ func (v *verifier) testSmallGroup(items []Item, group []int) ([][]int, error) {
 	if len(group) == 1 {
 		return [][]int{{group[0]}}, nil
 	}
-	insts := make([]*faas.Instance, len(group))
-	for i, idx := range group {
-		insts[i] = items[idx].Inst
+	insts := v.instBuf[:0]
+	for _, idx := range group {
+		insts = append(insts, items[idx].Inst)
 	}
+	v.instBuf = insts[:0]
 	pos, err := v.tester.CTest(insts, v.opt.M)
 	if err != nil {
 		return nil, err
@@ -325,6 +336,7 @@ func (v *verifier) mergeFalseNegatives(items []Item, clusters [][]int) ([][]int,
 // finish materializes the Result from index clusters.
 func (v *verifier) finish(items []Item, clusters [][]int, wallTests int) {
 	v.res.Labels = make([]int, len(items))
+	v.res.Clusters = make([][]*faas.Instance, 0, len(clusters))
 	for ci, c := range clusters {
 		insts := make([]*faas.Instance, 0, len(c))
 		for _, idx := range c {

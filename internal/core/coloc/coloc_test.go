@@ -1,7 +1,6 @@
 package coloc
 
 import (
-	"fmt"
 	"testing"
 	"time"
 
@@ -40,7 +39,7 @@ func itemsGen1(t *testing.T, insts []*faas.Instance, precision time.Duration) []
 			t.Fatal(err)
 		}
 		fp := fingerprint.Gen1FromSample(s, precision)
-		items[i] = Item{Inst: inst, Fingerprint: fp.String(), ConflictKey: fp.Model}
+		items[i] = Item{Inst: inst, Fingerprint: fp.Key(), ConflictKey: fp.Model}
 	}
 	return items
 }
@@ -108,7 +107,7 @@ func TestVerifyDetectsInjectedFalsePositive(t *testing.T) {
 	tester := covert.NewTester(pl.Scheduler(), covert.DefaultConfig())
 	items := make([]Item, len(insts))
 	for i, inst := range insts {
-		items[i] = Item{Inst: inst, Fingerprint: "same-for-everyone"}
+		items[i] = Item{Inst: inst, Fingerprint: fingerprint.Key{Model: "same-for-everyone"}}
 	}
 	res, err := Verify(tester, items, DefaultOptions())
 	if err != nil {
@@ -130,7 +129,7 @@ func TestVerifyDetectsInjectedFalseNegative(t *testing.T) {
 	tester := covert.NewTester(pl.Scheduler(), covert.DefaultConfig())
 	items := make([]Item, len(insts))
 	for i, inst := range insts {
-		items[i] = Item{Inst: inst, Fingerprint: fmt.Sprintf("unique-%d", i)}
+		items[i] = Item{Inst: inst, Fingerprint: fingerprint.Key{Model: "unique", A: int64(i)}}
 	}
 	res, err := Verify(tester, items, DefaultOptions())
 	if err != nil {
@@ -154,7 +153,7 @@ func TestGen2ModeSkipsStep3AndParallelizes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		items[i] = Item{Inst: inst, Fingerprint: fp.String(), ConflictKey: fp.Model}
+		items[i] = Item{Inst: inst, Fingerprint: fp.Key(), ConflictKey: fp.Model}
 	}
 	opt := DefaultOptions()
 	opt.AssumeNoFalseNegatives = true
@@ -168,6 +167,65 @@ func TestGen2ModeSkipsStep3AndParallelizes(t *testing.T) {
 	}
 	if res.WallTime >= res.SerializedTime && res.Tests > 1 {
 		t.Errorf("no parallelism benefit: wall %v vs serialized %v", res.WallTime, res.SerializedTime)
+	}
+}
+
+// An empty ConflictKey conflicts with everything, so its tests serialize
+// against every lane: wall time must be (empty lane) + (widest keyed lane),
+// not the maximum over lanes with "" treated as one more independent lane.
+func TestWallTimeEmptyConflictKeySerializes(t *testing.T) {
+	pl, insts := testWorld(t, 11, 120, sandbox.Gen1)
+	tester := covert.NewTester(pl.Scheduler(), covert.DefaultConfig())
+
+	// Three co-located pairs on three distinct hosts, one fingerprint group
+	// each, with conflict keys "x", "y", and "" (conflicts with everything).
+	byHost := make(map[faas.HostID][]*faas.Instance)
+	for _, inst := range insts {
+		id, _ := inst.HostID()
+		byHost[id] = append(byHost[id], inst)
+	}
+	var pairs [][]*faas.Instance
+	for _, group := range byHost {
+		if len(group) >= 2 {
+			pairs = append(pairs, group[:2])
+			if len(pairs) == 3 {
+				break
+			}
+		}
+	}
+	if len(pairs) < 3 {
+		t.Fatal("world has fewer than three multi-instance hosts")
+	}
+	var items []Item
+	for gi, key := range []string{"x", "y", ""} {
+		for _, inst := range pairs[gi] {
+			items = append(items, Item{
+				Inst:        inst,
+				Fingerprint: fingerprint.Key{Model: "g", A: int64(gi)},
+				ConflictKey: key,
+			})
+		}
+	}
+
+	res, err := Verify(tester, items, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step 2: one test per pair (3 total, lanes x=1, y=1, ""=1). Step 3: one
+	// representative test across the three clusters, all on different hosts,
+	// so no pairwise refinement follows.
+	if res.Tests != 4 {
+		t.Fatalf("used %d tests, expected 4 (scenario drifted; wall model unpinned)", res.Tests)
+	}
+	dur := tester.Config().TestDuration
+	if res.SerializedTime != 4*dur {
+		t.Errorf("SerializedTime = %v, want %v", res.SerializedTime, 4*dur)
+	}
+	// Wall: the "" lane (1) serializes against the widest keyed lane (1),
+	// while x and y overlap each other; plus the serial step-3 test.
+	if want := 3 * dur; res.WallTime != want {
+		t.Errorf("WallTime = %v, want %v (empty conflict key must not form its own parallel lane)",
+			res.WallTime, want)
 	}
 }
 

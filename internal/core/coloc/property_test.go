@@ -1,7 +1,6 @@
 package coloc
 
 import (
-	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -41,7 +40,7 @@ func TestVerifyCorrectnessProperty(t *testing.T) {
 				return false
 			}
 			fp := fingerprint.Gen1FromSample(s, fingerprint.DefaultPrecision)
-			items[i] = Item{Inst: inst, Fingerprint: fp.String(), ConflictKey: fp.Model}
+			items[i] = Item{Inst: inst, Fingerprint: fp.Key(), ConflictKey: fp.Model}
 		}
 		res, err := Verify(tester, items, DefaultOptions())
 		if err != nil {
@@ -91,7 +90,7 @@ func TestVerifyLabelClusterConsistencyProperty(t *testing.T) {
 			if len(assignRaw) > 0 {
 				key = int(assignRaw[i%len(assignRaw)]) % 6
 			}
-			items[i] = Item{Inst: inst, Fingerprint: fmt.Sprint("g", key)}
+			items[i] = Item{Inst: inst, Fingerprint: fingerprint.Key{Model: "g", A: int64(key)}}
 		}
 		res, err := Verify(tester, items, DefaultOptions())
 		if err != nil {
@@ -158,7 +157,7 @@ func TestVerifyWithNoisyChannelStructure(t *testing.T) {
 			t.Fatal(err)
 		}
 		fp := fingerprint.Gen1FromSample(s, fingerprint.DefaultPrecision)
-		items[i] = Item{Inst: inst, Fingerprint: fp.String(), ConflictKey: fp.Model}
+		items[i] = Item{Inst: inst, Fingerprint: fp.Key(), ConflictKey: fp.Model}
 	}
 	res, err := Verify(tester, items, DefaultOptions())
 	if err != nil {

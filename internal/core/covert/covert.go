@@ -86,6 +86,14 @@ type Tester struct {
 	cfg   Config
 	sched *simtime.Scheduler
 	stats Stats
+
+	// votes and obs are per-test scratch reused across CTests (a test runs
+	// Rounds contention rounds; without reuse each round allocated a fresh
+	// observation slice). pair backs PairTest's two-instance participant
+	// list.
+	votes []int
+	obs   []int
+	pair  [2]*faas.Instance
 }
 
 // NewTester builds a Tester. It panics on an invalid config, which is always
@@ -118,12 +126,19 @@ func (t *Tester) CTest(instances []*faas.Instance, m int) ([]bool, error) {
 	if len(instances) == 0 {
 		return nil, fmt.Errorf("covert: CTest of zero instances")
 	}
-	votes := make([]int, len(instances))
+	if cap(t.votes) < len(instances) {
+		t.votes = make([]int, len(instances))
+	}
+	votes := t.votes[:len(instances)]
+	for i := range votes {
+		votes[i] = 0
+	}
 	for r := 0; r < t.cfg.Rounds; r++ {
-		obs, err := faas.ContentionRoundOn(t.cfg.Resource, instances)
+		obs, err := faas.ContentionRoundOnInto(t.cfg.Resource, instances, t.obs)
 		if err != nil {
 			return nil, err
 		}
+		t.obs = obs
 		for i, units := range obs {
 			if units >= m {
 				votes[i]++
@@ -145,7 +160,8 @@ func (t *Tester) CTest(instances []*faas.Instance, m int) ([]bool, error) {
 // PairTest is the conventional pairwise covert-channel test: it reports
 // whether the two instances are co-located.
 func (t *Tester) PairTest(a, b *faas.Instance) (bool, error) {
-	res, err := t.CTest([]*faas.Instance{a, b}, 2)
+	t.pair[0], t.pair[1] = a, b
+	res, err := t.CTest(t.pair[:], 2)
 	if err != nil {
 		return false, err
 	}

@@ -1,0 +1,45 @@
+package fingerprint
+
+import "fmt"
+
+// Key is the comparable identity of a host fingerprint: a fixed-size struct
+// usable directly as a map key. Grouping code (coloc.Verify, coverage
+// deduplication) works on Keys so the per-instance hot paths never render or
+// hash strings; String exists only for logs and reports.
+//
+// Keys of different fingerprint generations never compare equal (Kind
+// differs), exactly as the old string renderings never collided.
+type Key struct {
+	// Kind discriminates the fingerprint family: 1 for Gen 1, 2 for Gen 2.
+	// Synthetic keys (tests, tools) may use 0.
+	Kind uint8
+	// Model is the CPU brand string.
+	Model string
+	// A and B carry the family-specific identity: Gen 1 stores the boot
+	// bucket and the precision in nanoseconds, Gen 2 the refined frequency
+	// in kHz (B unused).
+	A, B int64
+}
+
+// Key returns the fingerprint's comparable identity. It is injective: two
+// Gen 1 fingerprints map to the same Key iff they are equal.
+func (f Gen1) Key() Key {
+	return Key{Kind: 1, Model: f.Model, A: f.BootBucket, B: f.PrecisionNs}
+}
+
+// Key returns the fingerprint's comparable identity (injective over Gen2).
+func (f Gen2) Key() Key {
+	return Key{Kind: 2, Model: f.Model, A: f.FreqKHz}
+}
+
+// String renders the key for logs, matching the underlying fingerprint's own
+// rendering where one exists.
+func (k Key) String() string {
+	switch k.Kind {
+	case 1:
+		return Gen1{Model: k.Model, BootBucket: k.A, PrecisionNs: k.B}.String()
+	case 2:
+		return Gen2{Model: k.Model, FreqKHz: k.A}.String()
+	}
+	return fmt.Sprintf("key{%s, %d, %d}", k.Model, k.A, k.B)
+}

@@ -1,0 +1,51 @@
+package fingerprint
+
+import (
+	"testing"
+	"time"
+)
+
+var keySink Key
+
+func TestKeyRoundTrip(t *testing.T) {
+	g1 := Gen1FromBootTime("Intel(R) Xeon(R) CPU @ 2.20GHz", 12345.6, time.Second)
+	g2 := Gen2{Model: "AMD EPYC 7B12", FreqKHz: 2249998}
+
+	if g1.Key() != g1.Key() || g2.Key() != g2.Key() {
+		t.Error("keys of equal fingerprints differ")
+	}
+	if g1.Key() == g2.Key() {
+		t.Error("Gen1 and Gen2 keys collide")
+	}
+	// The rendered key matches the fingerprint's own rendering, so reports
+	// built from keys read the same as ones built from fingerprints.
+	if g1.Key().String() != g1.String() {
+		t.Errorf("Gen1 key renders %q, fingerprint renders %q", g1.Key().String(), g1.String())
+	}
+	if g2.Key().String() != g2.String() {
+		t.Errorf("Gen2 key renders %q, fingerprint renders %q", g2.Key().String(), g2.String())
+	}
+}
+
+func TestKeyDistinguishesPrecision(t *testing.T) {
+	a := Gen1FromBootTime("m", 100, time.Second).Key()
+	b := Gen1FromBootTime("m", 100, 100*time.Millisecond).Key()
+	if a == b {
+		t.Error("keys of different precisions collide")
+	}
+}
+
+// Key construction sits in the per-instance verification loop: it replaced
+// fmt.Sprintf-based string keys precisely to get the allocation off the hot
+// path, so it must stay allocation-free.
+func TestKeyConstructionAllocs(t *testing.T) {
+	g1 := Gen1FromBootTime("Intel(R) Xeon(R) CPU @ 2.20GHz", 12345.6, time.Second)
+	g2 := Gen2{Model: "AMD EPYC 7B12", FreqKHz: 2249998}
+	allocs := testing.AllocsPerRun(100, func() {
+		keySink = g1.Key()
+		keySink = g2.Key()
+	})
+	if allocs > 0 {
+		t.Errorf("Key construction allocates %.1f per run, budget 0", allocs)
+	}
+}

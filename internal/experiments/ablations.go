@@ -44,7 +44,7 @@ func ablationItems(insts []*faas.Instance) ([]coloc.Item, error) {
 			return nil, err
 		}
 		fp := fingerprint.Gen1FromSample(s, fingerprint.DefaultPrecision)
-		items[i] = coloc.Item{Inst: inst, Fingerprint: fp.String(), ConflictKey: fp.Model}
+		items[i] = coloc.Item{Inst: inst, Fingerprint: fp.Key(), ConflictKey: fp.Model}
 	}
 	return items, nil
 }

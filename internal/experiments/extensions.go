@@ -105,7 +105,7 @@ func runMitigation(ctx Context) (*Result, error) {
 				return worldRow{}, err
 			}
 			fp := fingerprint.Gen1FromSample(s, fingerprint.DefaultPrecision)
-			items[i] = coloc.Item{Inst: inst, Fingerprint: fp.String(), ConflictKey: fp.Model}
+			items[i] = coloc.Item{Inst: inst, Fingerprint: fp.Key(), ConflictKey: fp.Model}
 		}
 		tester := covert.NewTester(dc.Scheduler(), covert.DefaultConfig())
 		ver, err := coloc.Verify(tester, items, coloc.DefaultOptions())

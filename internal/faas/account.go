@@ -1,8 +1,6 @@
 package faas
 
 import (
-	"sort"
-
 	"eaao/internal/randx"
 	"eaao/internal/sandbox"
 	"eaao/internal/simtime"
@@ -37,13 +35,20 @@ type Account struct {
 	helpers  []*Host // account-level helper pool, preference-ordered
 
 	services map[string]*Service
-	svcSeq   []string
+	svcSeq   []*Service // creation order, for deterministic iteration
 
 	// quota caps instances per service for this account (new-account
 	// limit); 0 means the region-wide maximum applies.
 	quota int
 
 	bill Bill
+
+	// scoreBuf and hostBuf are selection scratch reused across every noisy
+	// top-K decision this account makes (pool sampling, helper builds,
+	// ranked base selection). Safe because the simulator is single-threaded
+	// and no selection nests inside another.
+	scoreBuf []hostScore
+	hostBuf  []*Host
 }
 
 func newAccount(dc *DataCenter, id string) *Account {
@@ -56,7 +61,7 @@ func newAccount(dc *DataCenter, id string) *Account {
 		services: make(map[string]*Service),
 	}
 	a.basePool = a.sampleBasePool(rng.Derive("base"))
-	a.helpers = noisyTopSample(rng.Derive("helpers"), dc.hosts, dc.profile.AccountHelperPool, sigmaHelper, nil)
+	a.helpers = a.noisyTopSample(rng.Derive("helpers"), dc.hosts, dc.profile.AccountHelperPool, sigmaHelper, noExclusion)
 	a.quota = dc.profile.NewAccountQuota
 	return a
 }
@@ -78,43 +83,50 @@ func (a *Account) Mature() { a.quota = 0 }
 // sampleBasePool draws the account's base pool from its placement group,
 // ranked by host desirability.
 func (a *Account) sampleBasePool(rng *randx.Source) []*Host {
-	var group []*Host
+	group := a.hostBuf[:0]
 	for _, h := range a.dc.hosts {
 		if h.group == a.group {
 			group = append(group, h)
 		}
 	}
+	a.hostBuf = group[:0]
 	n := a.dc.profile.BasePoolSize
 	if n > len(group) {
 		n = len(group)
 	}
-	return noisyTopSample(rng, group, n, sigmaBase, nil)
+	return a.noisyTopSample(rng, group, n, sigmaBase, noExclusion)
 }
 
-// noisyTopSample selects the k best candidates by desirability plus
-// Gaussian selection noise, skipping any host in exclude. The result is
-// ordered best-first, i.e. stronger preference first.
-func noisyTopSample(rng *randx.Source, candidates []*Host, k int, sigma float64, exclude map[*Host]bool) []*Host {
-	type scored struct {
-		h     *Host
-		score float64
-	}
-	pool := make([]scored, 0, len(candidates))
-	for _, h := range candidates {
-		if exclude[h] {
-			continue
+// noExclusion asks noisyTopSample to consider every candidate. Any other
+// value must be a live epoch tag from Platform.nextMark; hosts carrying it
+// are skipped before any noise is drawn (exactly as the old map-based
+// exclusion skipped them), so the RNG draw sequence is unchanged.
+const noExclusion uint64 = 0
+
+// noisyTopSample selects the k best candidates by desirability plus Gaussian
+// selection noise. The result is ordered best-first, i.e. stronger
+// preference first. Scoring scratch is reused across calls; selection is a
+// deterministic quickselect over the strict (score, host-id) total order, so
+// the output matches the historical full sort element for element.
+func (a *Account) noisyTopSample(rng *randx.Source, candidates []*Host, k int, sigma float64, excludeMark uint64) []*Host {
+	pool := a.scoreBuf[:0]
+	if excludeMark == noExclusion {
+		for _, h := range candidates {
+			pool = append(pool, hostScore{h: h, score: h.desirability + rng.Normal(0, sigma)})
 		}
-		pool = append(pool, scored{h: h, score: h.desirability + rng.Normal(0, sigma)})
-	}
-	sort.Slice(pool, func(i, j int) bool {
-		if pool[i].score != pool[j].score {
-			return pool[i].score < pool[j].score
+	} else {
+		for _, h := range candidates {
+			if h.mark == excludeMark {
+				continue
+			}
+			pool = append(pool, hostScore{h: h, score: h.desirability + rng.Normal(0, sigma)})
 		}
-		return pool[i].h.id < pool[j].h.id
-	})
+	}
+	a.scoreBuf = pool[:0]
 	if k > len(pool) {
 		k = len(pool)
 	}
+	topK(pool, k, byScoreThenID)
 	out := make([]*Host, k)
 	for i := range out {
 		out[i] = pool[i].h
@@ -134,19 +146,13 @@ func (a *Account) resampleBasePool(frac float64) {
 	if n <= 0 {
 		return
 	}
-	current := make(map[*Host]bool, len(a.basePool))
+	mark := a.dc.platform.nextMark()
 	for _, h := range a.basePool {
-		current[h] = true
-	}
-	var candidates []*Host
-	for _, h := range a.dc.hosts {
-		if !current[h] {
-			candidates = append(candidates, h)
-		}
+		h.mark = mark
 	}
 	// Loose preference: spread well beyond the fleet's most desirable tier.
 	const sigmaDynamic = 1.0
-	fresh := noisyTopSample(a.rng.Derive("resample"), candidates, n, sigmaDynamic, nil)
+	fresh := a.noisyTopSample(a.rng.Derive("resample"), a.dc.hosts, n, sigmaDynamic, mark)
 	// Replace entries at random positions — including the high-preference
 	// head. This is what makes us-central1 placement "more dynamic": a
 	// tenant's instances keep landing on partially new hosts, which in turn
@@ -197,7 +203,7 @@ func (a *Account) DeployService(name string, cfg ServiceConfig) *Service {
 	}
 	svc := newService(a, name, cfg)
 	a.services[name] = svc
-	a.svcSeq = append(a.svcSeq, name)
+	a.svcSeq = append(a.svcSeq, svc)
 	return svc
 }
 

@@ -1,0 +1,60 @@
+package faas
+
+import (
+	"testing"
+
+	"eaao/internal/randx"
+)
+
+// The placement hot paths run once per launch across millions of simulated
+// launches; these tests pin their steady-state allocation budgets so a
+// regression back to per-call scratch shows up in `go test`, not in a
+// profile weeks later.
+
+func TestRankedBaseSelectionAllocs(t *testing.T) {
+	dc := newTestDC(t, 3)
+	a := dc.Account("a")
+	rng := randx.New(99)
+	k := len(a.basePool) / 3
+	if k < 2 {
+		t.Fatalf("base pool too small for a meaningful selection: %d", len(a.basePool))
+	}
+	// Warm the per-account scratch buffers.
+	rankedBaseSelection(rng, a, a.basePool, k)
+
+	// Steady state: candidates and output live in per-account scratch and
+	// the selection sort is allocation-free.
+	allocs := testing.AllocsPerRun(100, func() {
+		rankedBaseSelection(rng, a, a.basePool, k)
+	})
+	if allocs > 0 {
+		t.Errorf("rankedBaseSelection allocates %.1f per run, budget 0", allocs)
+	}
+
+	// The degenerate whole-pool copy must be allocation-free.
+	allocs = testing.AllocsPerRun(100, func() {
+		rankedBaseSelection(rng, a, a.basePool, len(a.basePool))
+	})
+	if allocs > 0 {
+		t.Errorf("whole-pool rankedBaseSelection allocates %.1f per run, budget 0", allocs)
+	}
+}
+
+func TestBuildHelperSetAllocs(t *testing.T) {
+	dc := newTestDC(t, 3)
+	svc := dc.Account("a").DeployService("s", ServiceConfig{})
+	rng := randx.New(7)
+	buildHelperSet(svc, rng)
+
+	// buildHelperSet returns a fresh slice (retained for the service's
+	// lifetime) and draws two noisy samples whose outputs are likewise
+	// returned; the budget is those three result slices plus the
+	// insertion-position scratch — not the O(n) per-host churn the merge
+	// pass replaced.
+	allocs := testing.AllocsPerRun(50, func() {
+		buildHelperSet(svc, rng)
+	})
+	if allocs > 4 {
+		t.Errorf("buildHelperSet allocates %.1f per run, budget 4", allocs)
+	}
+}

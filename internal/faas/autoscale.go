@@ -92,7 +92,7 @@ func (s *Service) scaleIn(n int) {
 	idled := 0
 	for i := len(s.insts) - 1; i >= 0 && idled < n; i-- {
 		inst := s.insts[i]
-		if inst.state != StateActive {
+		if inst == nil || inst.state != StateActive {
 			continue
 		}
 		inst.goIdle(now)

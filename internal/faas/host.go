@@ -40,6 +40,17 @@ type Host struct {
 
 	// instances currently resident (active or idle, not terminated).
 	instances map[*Instance]struct{}
+
+	// mark is an epoch tag (Platform.nextMark) letting hot paths answer
+	// "have I touched this host during the current operation?" without a
+	// per-call map allocation. A mark value is meaningful only inside the
+	// single operation that minted it.
+	mark uint64
+	// roundCount and roundBG are contention-round scratch, valid only while
+	// mark holds the current round's epoch: the number of live participants
+	// resident here and the once-per-round background draw (-1 = not drawn).
+	roundCount int
+	roundBG    int8
 }
 
 // newHost builds host i of a data center, drawing its model, boot time, TSC

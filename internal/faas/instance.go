@@ -42,6 +42,9 @@ type Instance struct {
 	host    *Host
 	guest   *sandbox.Guest
 	state   InstanceState
+	// slot is this instance's index in service.insts, maintained on append
+	// and compaction so removal never scans or shifts the list.
+	slot int
 
 	createdAt simtime.Time
 	// readyAt is when the container finished starting and can serve its

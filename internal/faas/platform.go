@@ -2,6 +2,8 @@ package faas
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"eaao/internal/randx"
@@ -16,6 +18,18 @@ type Platform struct {
 	rng     *randx.Source
 	regions map[Region]*DataCenter
 	order   []Region
+
+	// markSeq mints host-epoch tags (see Host.mark). Not an RNG stream and
+	// never observable in simulation output; it only has to be unique per
+	// operation within this platform.
+	markSeq uint64
+}
+
+// nextMark returns a fresh host-epoch tag, distinct from every mark
+// previously written to this platform's hosts.
+func (p *Platform) nextMark() uint64 {
+	p.markSeq++
+	return p.markSeq
 }
 
 // NewPlatform builds a platform with the given root seed and region profiles.
@@ -33,6 +47,7 @@ func NewPlatform(seed uint64, profiles ...RegionProfile) (*Platform, error) {
 		if err := prof.Validate(); err != nil {
 			return nil, err
 		}
+		prof.normalize()
 		if _, dup := p.regions[prof.Name]; dup {
 			return nil, fmt.Errorf("faas: duplicate region %s", prof.Name)
 		}
@@ -88,7 +103,7 @@ type DataCenter struct {
 	rng      *randx.Source
 	hosts    []*Host
 	accounts map[string]*Account
-	acctSeq  []string // creation order, for deterministic iteration
+	acctSeq  []*Account // creation order, for deterministic iteration
 	nextInst int
 
 	// policy is the region's placement engine, resolved once from the
@@ -144,14 +159,29 @@ func (dc *DataCenter) Account(id string) *Account {
 	}
 	a := newAccount(dc, id)
 	dc.accounts[id] = a
-	dc.acctSeq = append(dc.acctSeq, id)
+	dc.acctSeq = append(dc.acctSeq, a)
 	return a
 }
 
-// nextInstanceID mints a platform-unique instance identity.
+// nextInstanceID mints a platform-unique instance identity. This runs once
+// per created instance — the single hottest allocation site in the whole
+// simulator — so it formats "<account>/<service>-<seq %06d>" by hand instead
+// of through fmt.Sprintf.
 func (dc *DataCenter) nextInstanceID(svc *Service) string {
 	dc.nextInst++
-	return fmt.Sprintf("%s/%s-%06d", svc.account.id, svc.name, dc.nextInst)
+	var b strings.Builder
+	b.Grow(len(svc.account.id) + len(svc.name) + 8)
+	b.WriteString(svc.account.id)
+	b.WriteByte('/')
+	b.WriteString(svc.name)
+	b.WriteByte('-')
+	var tmp [20]byte
+	digits := strconv.AppendInt(tmp[:0], int64(dc.nextInst), 10)
+	for i := len(digits); i < 6; i++ {
+		b.WriteByte('0')
+	}
+	b.Write(digits)
+	return b.String()
 }
 
 // scheduleChurnSweep installs the hourly instance-recycling sweep that
@@ -162,16 +192,16 @@ func (dc *DataCenter) scheduleChurnSweep() {
 		return
 	}
 	churnRNG := dc.rng.Derive("churn")
+	// victims is collect-first scratch shared across sweeps (recycling
+	// mutates the instance list mid-iteration otherwise).
+	var victims []*Instance
 	var sweep func(simtime.Time)
 	sweep = func(now simtime.Time) {
-		for _, id := range dc.acctSeq {
-			acct := dc.accounts[id]
+		for _, acct := range dc.acctSeq {
 			for _, svc := range acct.svcSeq {
-				svc := acct.services[svc]
-				// Collect first: recycling mutates the instance list.
-				var victims []*Instance
+				victims = victims[:0]
 				for _, inst := range svc.insts {
-					if inst.state == StateActive && churnRNG.Bool(dc.profile.InstanceChurnPerHour) {
+					if inst != nil && inst.state == StateActive && churnRNG.Bool(dc.profile.InstanceChurnPerHour) {
 						victims = append(victims, inst)
 					}
 				}
@@ -274,31 +304,56 @@ func ContentionRoundOn(res Resource, parts []*Instance) ([]int, error) {
 	if len(parts) == 0 {
 		return nil, nil
 	}
-	perHost := make(map[*Host]int, len(parts))
+	return ContentionRoundOnInto(res, parts, make([]int, len(parts)))
+}
+
+// ContentionRoundOnInto is ContentionRoundOn writing its observations into
+// out (grown if needed), so round-per-round callers like covert.Tester can
+// run the channel without allocating. Per-host bookkeeping rides on host
+// epoch marks instead of per-round maps; all participants must live on one
+// Platform (true for any real instance set — instances never migrate across
+// platforms).
+func ContentionRoundOnInto(res Resource, parts []*Instance, out []int) ([]int, error) {
+	if len(parts) == 0 {
+		return out[:0], nil
+	}
+	if cap(out) < len(parts) {
+		out = make([]int, len(parts))
+	}
+	out = out[:len(parts)]
+	var mark uint64
 	for _, inst := range parts {
 		if inst.state == StateTerminated {
 			continue
 		}
-		perHost[inst.host]++
+		h := inst.host
+		if mark == 0 {
+			mark = h.dc.platform.nextMark()
+		}
+		if h.mark != mark {
+			h.mark = mark
+			h.roundCount = 0
+			h.roundBG = -1
+		}
+		h.roundCount++
 	}
 	// Background usage by unrelated tenants, decided once per host per
-	// round.
+	// round. Each host draws from its own noise stream, so per-host draw
+	// counts — not cross-host ordering — are what determinism depends on.
 	bgProb := res.backgroundProb()
-	background := make(map[*Host]int, len(perHost))
-	out := make([]int, len(parts))
 	for i, inst := range parts {
 		if inst.state == StateTerminated {
+			out[i] = 0
 			continue
 		}
 		h := inst.host
-		if _, done := background[h]; !done {
-			b := 0
+		if h.roundBG < 0 {
+			h.roundBG = 0
 			if h.noiseRNG.Bool(bgProb) {
-				b = 1
+				h.roundBG = 1
 			}
-			background[h] = b
 		}
-		out[i] = perHost[h] + background[h]
+		out[i] = h.roundCount + int(h.roundBG)
 	}
 	return out, nil
 }

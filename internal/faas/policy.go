@@ -120,15 +120,13 @@ func dynamicDecay(svc *Service) {
 	}
 }
 
-// policyFor resolves a profile's placement engine: an explicit Policy wins,
-// the deprecated RandomPlacement bool maps to RandomUniformPolicy, and the
-// default is the calibrated Cloud Run extraction.
+// policyFor resolves a normalized profile's placement engine: an explicit
+// Policy wins, and the default is the calibrated Cloud Run extraction. The
+// deprecated RandomPlacement bool has already been folded into Policy by
+// RegionProfile.normalize before this runs.
 func policyFor(p RegionProfile) PlacementPolicy {
 	if p.Policy != nil {
 		return p.Policy
-	}
-	if p.RandomPlacement {
-		return RandomUniformPolicy{}
 	}
 	return CloudRunPolicy{}
 }

@@ -1,8 +1,6 @@
 package faas
 
 import (
-	"sort"
-
 	"eaao/internal/randx"
 	"eaao/internal/simtime"
 )
@@ -79,7 +77,7 @@ func (CloudRunPolicy) Place(req PlacementRequest, b *PlacementBatch) {
 		if hostCount > len(s.account.basePool) {
 			hostCount = len(s.account.basePool)
 		}
-		hosts := rankedBaseSelection(req.RNG, s.account.basePool, hostCount)
+		hosts := rankedBaseSelection(req.RNG, s.account, s.account.basePool, hostCount)
 		b.Spread(hosts, baseN)
 	}
 }
@@ -101,28 +99,55 @@ func (CloudRunPolicy) OnDemandDecay(svc *Service, now simtime.Time) {
 // plus a few fresh fleet-wide hosts interleaved throughout the expansion
 // order (so each new service's footprint grows the cumulative one, Fig. 10).
 func buildHelperSet(s *Service, rng *randx.Source) []*Host {
-	p := s.account.dc.profile
-	fromAccount := noisyTopSample(rng, s.account.helpers, p.ServiceHelperSize, sigmaHelper, nil)
-	excl := make(map[*Host]bool, len(fromAccount))
+	a := s.account
+	p := a.dc.profile
+	fromAccount := a.noisyTopSample(rng, a.helpers, p.ServiceHelperSize, sigmaHelper, noExclusion)
+	mark := a.dc.platform.nextMark()
 	for _, h := range fromAccount {
-		excl[h] = true
+		h.mark = mark
 	}
-	for _, h := range s.account.basePool {
-		excl[h] = true // base hosts are not helpers
+	for _, h := range a.basePool {
+		h.mark = mark // base hosts are not helpers
 	}
-	fresh := noisyTopSample(rng, s.account.dc.hosts, p.ServiceHelperFresh, sigmaFresh, excl)
+	fresh := a.noisyTopSample(rng, a.dc.hosts, p.ServiceHelperFresh, sigmaFresh, mark)
 
-	// Interleave fresh entries uniformly into the account-pool order.
-	out := make([]*Host, 0, len(fromAccount)+len(fresh))
-	out = append(out, fromAccount...)
-	for _, h := range fresh {
-		pos := rng.Intn(len(out) + 1)
-		out = append(out, nil)
-		copy(out[pos+1:], out[pos:])
-		out[pos] = h
+	// Interleave fresh entries uniformly into the account-pool order. The
+	// historical implementation inserted each fresh host with an O(n) slice
+	// shift; this computes the same final layout in one merge pass by
+	// resolving the insertion positions first. Drawing pos_i against the
+	// growing length len(fromAccount)+i+1 reproduces the old rng.Intn
+	// sequence exactly; an insertion at or before an earlier fresh host's
+	// slot shifts that slot up by one, and the account-pool hosts keep
+	// their relative order in whatever slots remain.
+	pos := make([]int, len(fresh))
+	for i := range fresh {
+		pi := rng.Intn(len(fromAccount) + i + 1)
+		for j := 0; j < i; j++ {
+			if pi <= pos[j] {
+				pos[j]++
+			}
+		}
+		pos[i] = pi
+	}
+	out := make([]*Host, len(fromAccount)+len(fresh))
+	for i, h := range fresh {
+		out[pos[i]] = h
+	}
+	next := 0
+	for i := range out {
+		if out[i] == nil {
+			out[i] = fromAccount[next]
+			next++
+		}
 	}
 	return out
 }
+
+// rankNoise is the sigma of the per-launch rank perturbation in
+// rankedBaseSelection; its continuous distribution makes exact score ties
+// have probability zero, so ordering by score alone is a total order in
+// practice and quickselect reproduces the historical full sort exactly.
+const rankNoise = 3.0
 
 // rankedBaseSelection picks hostCount hosts from the preference-ordered base
 // pool by noisy rank: the front of the pool is used on virtually every
@@ -130,31 +155,51 @@ func buildHelperSet(s *Service, rng *randx.Source) []*Host {
 // stability the re-attack optimization banks on), while rank noise lets
 // repeated cold launches slowly explore the pool tail (Fig. 7's slight
 // cumulative growth).
-func rankedBaseSelection(rng *randx.Source, pool []*Host, hostCount int) []*Host {
+//
+// The returned slice is backed by per-account scratch: valid until the
+// account's next selection, which is fine for its one consumer (an immediate
+// PlacementBatch.Spread).
+func rankedBaseSelection(rng *randx.Source, a *Account, pool []*Host, hostCount int) []*Host {
+	out := a.hostBuf[:0]
 	if hostCount >= len(pool) {
-		return append([]*Host(nil), pool...)
+		out = append(out, pool...)
+		a.hostBuf = out[:0]
+		return out
 	}
-	const rankNoise = 3.0
-	type scored struct {
-		h     *Host
-		score float64
-	}
-	cand := make([]scored, len(pool))
+	cand := a.scoreBuf[:0]
 	for i, h := range pool {
-		cand[i] = scored{h: h, score: float64(i) + rng.Normal(0, rankNoise)}
+		cand = append(cand, hostScore{h: h, score: float64(i) + rng.Normal(0, rankNoise)})
 	}
-	sort.Slice(cand, func(i, j int) bool { return cand[i].score < cand[j].score })
-	out := make([]*Host, hostCount)
-	for i := range out {
-		out[i] = cand[i].h
+	a.scoreBuf = cand[:0]
+	topK(cand, hostCount, byScore)
+	for i := 0; i < hostCount; i++ {
+		out = append(out, cand[i].h)
 	}
+	a.hostBuf = out[:0]
 	return out
 }
 
 // recycleBaseDraw is the platform's historical replacement-host draw: a
-// noisy base-pool selection seeded by the recycled instance's identity.
+// noisy base-pool selection seeded by the recycled instance's identity. Only
+// one host of the ranked selection is ever used, so instead of materializing
+// the whole top-hostCount prefix it draws the rank first and quickselects
+// exactly that element — same derived-RNG scoring draws, same service-stream
+// Intn draw, same host, O(P) instead of O(P log P).
 func recycleBaseDraw(svc *Service, oldID string) *Host {
-	hostCount := 1 + len(svc.account.basePool)/8
-	hosts := rankedBaseSelection(svc.rng.Derive("recycle", oldID), svc.account.basePool, hostCount)
-	return hosts[svc.rng.Intn(len(hosts))]
+	a := svc.account
+	pool := a.basePool
+	hostCount := 1 + len(pool)/8
+	if hostCount >= len(pool) {
+		// Historical behavior: the ranked selection degenerates to a copy
+		// of the whole pool (no scoring draws), then a uniform pick.
+		return pool[svc.rng.Intn(len(pool))]
+	}
+	rng := svc.rng.Derive("recycle", oldID)
+	cand := a.scoreBuf[:0]
+	for i, h := range pool {
+		cand = append(cand, hostScore{h: h, score: float64(i) + rng.Normal(0, rankNoise)})
+	}
+	a.scoreBuf = cand[:0]
+	k := svc.rng.Intn(hostCount)
+	return selectRank(cand, k, byScore)
 }

@@ -59,6 +59,33 @@ func TestNilPolicyIsCloudRun(t *testing.T) {
 	}
 }
 
+// normalize is the single place the deprecated RandomPlacement bool is read:
+// it folds the flag into Policy, after which Policy is authoritative.
+func TestNormalizeFoldsRandomPlacement(t *testing.T) {
+	p := testProfile()
+	p.RandomPlacement = true
+	p.normalize()
+	if _, ok := p.Policy.(RandomUniformPolicy); !ok {
+		t.Errorf("normalize left Policy = %T, want RandomUniformPolicy", p.Policy)
+	}
+
+	// An explicit Policy wins; the bool is ignored.
+	p = testProfile()
+	p.RandomPlacement = true
+	p.Policy = CloudRunPolicy{}
+	p.normalize()
+	if _, ok := p.Policy.(CloudRunPolicy); !ok {
+		t.Errorf("normalize overrode an explicit Policy with %T", p.Policy)
+	}
+
+	// Without the bool, nil stays nil (the CloudRun default resolves later).
+	p = testProfile()
+	p.normalize()
+	if p.Policy != nil {
+		t.Errorf("normalize invented a policy: %T", p.Policy)
+	}
+}
+
 // The deprecated RandomPlacement bool must keep working, mapped to
 // RandomUniformPolicy, draw for draw.
 func TestRandomPlacementBoolMapsToRandomUniform(t *testing.T) {

@@ -156,6 +156,16 @@ type RegionProfile struct {
 	Policy PlacementPolicy
 }
 
+// normalize folds deprecated knobs into their modern equivalents before the
+// profile is frozen into a data center. It is the only place the deprecated
+// RandomPlacement bool is read: after normalization, Policy is authoritative
+// everywhere else.
+func (p *RegionProfile) normalize() {
+	if p.Policy == nil && p.RandomPlacement {
+		p.Policy = RandomUniformPolicy{}
+	}
+}
+
 // Validate checks the profile for internal consistency.
 func (p RegionProfile) Validate() error {
 	switch {

@@ -1,0 +1,122 @@
+package faas
+
+// hostScore pairs a host with a selection score. It is the working element of
+// every noisy top-K scheduler decision (base pools, helper sets, ranked base
+// selection); the scored buffers live on the Account so the per-launch hot
+// path does not allocate.
+type hostScore struct {
+	h     *Host
+	score float64
+}
+
+// topK partially orders s so that the k entries smallest under less occupy
+// s[:k] in ascending order. It is the quickselect-then-sort-K replacement for
+// fully sorting s: O(len(s) + k log k) instead of O(len(s) log len(s)).
+//
+// less must be a strict weak ordering; when it is a total order (or ties have
+// probability zero, as with continuous score noise), the selected set and its
+// order are exactly what a full sort would produce, so swapping topK for
+// sort.Slice is output-identical.
+func topK(s []hostScore, k int, less func(a, b *hostScore) bool) {
+	if k <= 0 {
+		return
+	}
+	if k < len(s) {
+		quickselect(s, k, less)
+		s = s[:k]
+	}
+	sortScores(s, less)
+}
+
+// sortScores sorts s ascending under less without allocating (sort.Slice
+// costs several allocations per call via reflection, which matters on the
+// per-launch hot path). less is a total order here — scores either carry
+// continuous noise (ties have probability zero) or break ties by host id —
+// so the result is the unique sorted order regardless of algorithm.
+func sortScores(s []hostScore, less func(a, b *hostScore) bool) {
+	if len(s) <= 12 {
+		// Insertion sort for small runs and recursion leaves.
+		for i := 1; i < len(s); i++ {
+			for j := i; j > 0 && less(&s[j], &s[j-1]); j-- {
+				s[j], s[j-1] = s[j-1], s[j]
+			}
+		}
+		return
+	}
+	p := partition(s, 0, len(s)-1, less)
+	sortScores(s[:p], less)
+	sortScores(s[p+1:], less)
+}
+
+// quickselect partitions s so that the k smallest entries under less occupy
+// s[:k] in arbitrary order. Deterministic (median-of-three pivots, no
+// randomness): it must never consume simulation RNG draws.
+func quickselect(s []hostScore, k int, less func(a, b *hostScore) bool) {
+	lo, hi := 0, len(s)-1
+	for lo < hi {
+		p := partition(s, lo, hi, less)
+		switch {
+		case p == k-1:
+			return
+		case p > k-1:
+			hi = p - 1
+		default:
+			lo = p + 1
+		}
+	}
+}
+
+// partition is a Lomuto partition of s[lo:hi+1] around a median-of-three
+// pivot; it returns the pivot's final index.
+func partition(s []hostScore, lo, hi int, less func(a, b *hostScore) bool) int {
+	mid := lo + (hi-lo)/2
+	if less(&s[mid], &s[lo]) {
+		s[mid], s[lo] = s[lo], s[mid]
+	}
+	if less(&s[hi], &s[mid]) {
+		s[hi], s[mid] = s[mid], s[hi]
+		if less(&s[mid], &s[lo]) {
+			s[mid], s[lo] = s[lo], s[mid]
+		}
+	}
+	// Median now at mid; use it as the pivot from the hi slot. The pivot is
+	// compared in place (s[hi] is untouched until the final swap) — copying
+	// it to a local would make it escape through the less callback and cost
+	// one heap allocation per partition call.
+	s[mid], s[hi] = s[hi], s[mid]
+	i := lo
+	for j := lo; j < hi; j++ {
+		if less(&s[j], &s[hi]) {
+			s[i], s[j] = s[j], s[i]
+			i++
+		}
+	}
+	s[i], s[hi] = s[hi], s[i]
+	return i
+}
+
+// selectRank returns the entry of rank k (0-indexed, ascending under less)
+// without ordering anything else: a single quickselect pass, O(len(s)).
+func selectRank(s []hostScore, k int, less func(a, b *hostScore) bool) *Host {
+	quickselect(s, k+1, less)
+	best := 0
+	for i := 1; i <= k; i++ {
+		if less(&s[best], &s[i]) {
+			best = i
+		}
+	}
+	return s[best].h
+}
+
+// byScore orders by score alone (rank noise makes exact ties have probability
+// zero, so this matches the historical unstable full sort draw for draw).
+func byScore(a, b *hostScore) bool { return a.score < b.score }
+
+// byScoreThenID orders by score with host-id tie-breaking — the strict total
+// order of every desirability-based noisy sample.
+func byScoreThenID(a, b *hostScore) bool {
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	return a.h.id < b.h.id
+}

@@ -20,8 +20,15 @@ type Service struct {
 	gen     sandbox.Gen
 	rng     *randx.Source
 
-	// insts holds non-terminated instances in creation order.
-	insts []*Instance
+	// insts holds non-terminated instances in creation order. Removal
+	// tombstones the slot (nil) instead of shifting the tail — instance
+	// churn made the O(n) shift the simulator's hottest memmove — so every
+	// iteration over insts skips nil entries; the live order is unchanged,
+	// keeping order-sensitive RNG draws (churn, scale-in) identical.
+	// deadInsts counts tombstones; compaction runs when they reach half the
+	// list.
+	insts     []*Instance
+	deadInsts int
 
 	// policyState is the placement policy's opaque per-service state (e.g.
 	// CloudRunPolicy keeps the preference-ordered helper set here).
@@ -36,11 +43,12 @@ type Service struct {
 	demand         int
 	autoscaling    bool
 
-	// Image-locality accounting: hosts that have ever run this service,
-	// plus per-launch counts of image-cold hosts (hosts used by a launch
-	// that had never run the service — each costs an image pull and a slow
+	// Image-locality accounting: hosts that have ever run this service
+	// (indexed by HostID — host ids are dense indexes into dc.hosts), plus
+	// per-launch counts of image-cold hosts (hosts used by a launch that
+	// had never run the service — each costs an image pull and a slow
 	// start).
-	seenHosts       map[*Host]bool
+	seenHosts       []bool
 	coldLaunchHosts int
 	usedLaunchHosts int
 }
@@ -55,7 +63,7 @@ func newService(a *Account, name string, cfg ServiceConfig) *Service {
 		rng:            rng,
 		maxConcurrency: cfg.MaxConcurrency,
 	}
-	s.seenHosts = make(map[*Host]bool)
+	s.seenHosts = make([]bool, len(a.dc.hosts))
 	s.policyState = a.dc.policy.NewService(s, rng.Derive("helperset"))
 	return s
 }
@@ -87,14 +95,20 @@ func (s *Service) Gen() sandbox.Gen { return s.gen }
 // Instances returns the service's live (active or idle) instances in
 // creation order.
 func (s *Service) Instances() []*Instance {
-	return append([]*Instance(nil), s.insts...)
+	out := make([]*Instance, 0, len(s.insts)-s.deadInsts)
+	for _, inst := range s.insts {
+		if inst != nil {
+			out = append(out, inst)
+		}
+	}
+	return out
 }
 
 // ActiveInstances returns only the connected instances.
 func (s *Service) ActiveInstances() []*Instance {
 	var out []*Instance
 	for _, inst := range s.insts {
-		if inst.state == StateActive {
+		if inst != nil && inst.state == StateActive {
 			out = append(out, inst)
 		}
 	}
@@ -105,7 +119,7 @@ func (s *Service) ActiveInstances() []*Instance {
 func (s *Service) IdleCount() int {
 	n := 0
 	for _, inst := range s.insts {
-		if inst.state == StateIdle {
+		if inst != nil && inst.state == StateIdle {
 			n++
 		}
 	}
@@ -147,10 +161,13 @@ func (s *Service) Launch(n int) ([]*Instance, error) {
 
 	// Reuse whatever is already running: active instances count as-is, idle
 	// ones are reconnected warm.
-	var connected []*Instance
+	connected := make([]*Instance, 0, n)
 	for _, inst := range s.insts {
 		if len(connected) == n {
 			break
+		}
+		if inst == nil {
+			continue
 		}
 		switch inst.state {
 		case StateActive:
@@ -169,15 +186,18 @@ func (s *Service) Launch(n int) ([]*Instance, error) {
 	}
 
 	// Image-locality accounting for this launch: which hosts serve it, and
-	// how many of them are running the service for the first time.
-	launchHosts := make(map[*Host]bool)
+	// how many of them are running the service for the first time. An epoch
+	// mark dedupes hosts within this launch without a per-launch map.
+	mark := s.account.dc.platform.nextMark()
 	for _, inst := range connected {
-		launchHosts[inst.host] = true
-	}
-	s.usedLaunchHosts += len(launchHosts)
-	for h := range launchHosts {
-		if !s.seenHosts[h] {
-			s.seenHosts[h] = true
+		h := inst.host
+		if h.mark == mark {
+			continue
+		}
+		h.mark = mark
+		s.usedLaunchHosts++
+		if !s.seenHosts[h.id] {
+			s.seenHosts[h.id] = true
 			s.coldLaunchHosts++
 		}
 	}
@@ -188,7 +208,7 @@ func (s *Service) Launch(n int) ([]*Instance, error) {
 // policy, handing it the demand-window state and the service's placement
 // stream, and traces the resulting batch.
 func (s *Service) placeNew(count int, now simtime.Time) []*Instance {
-	b := &PlacementBatch{svc: s, now: now}
+	b := &PlacementBatch{svc: s, now: now, out: make([]*Instance, 0, count)}
 	s.account.dc.policy.Place(PlacementRequest{
 		Service:   s,
 		Count:     count,
@@ -227,7 +247,7 @@ func (s *Service) startupLatency(h *Host) time.Duration {
 		median = gen2StartupMedian
 	}
 	d := s.rng.LogNormal(logDur(median), startupSigma)
-	if !s.seenHosts[h] {
+	if !s.seenHosts[h.id] {
 		d += s.rng.LogNormal(logDur(imagePullMedian), startupSigma)
 	}
 	return time.Duration(d)
@@ -249,6 +269,7 @@ func (s *Service) createInstance(h *Host, now simtime.Time) *Instance {
 	}
 	inst.guest = sandbox.NewGuest(h, s.gen)
 	h.attach(inst)
+	inst.slot = len(s.insts)
 	s.insts = append(s.insts, inst)
 	s.account.bill.Instances++
 	return inst
@@ -262,7 +283,7 @@ func (s *Service) Disconnect() {
 	sched := s.account.dc.platform.sched
 	p := s.account.dc.profile
 	for _, inst := range s.insts {
-		if inst.state != StateActive {
+		if inst == nil || inst.state != StateActive {
 			continue
 		}
 		inst.goIdle(now)
@@ -283,7 +304,7 @@ func (s *Service) Disconnect() {
 // TerminateAll immediately terminates every live instance of the service.
 func (s *Service) TerminateAll() {
 	now := s.account.dc.platform.sched.Now()
-	for _, inst := range append([]*Instance(nil), s.insts...) {
+	for _, inst := range s.Instances() {
 		inst.terminate(now)
 	}
 }
@@ -301,12 +322,30 @@ func (s *Service) recycle(inst *Instance, now simtime.Time) {
 	})
 }
 
-// removeInstance drops a terminated instance from the service's list.
+// removeInstance drops a terminated instance from the service's list:
+// tombstone the slot, compact (order-preserving) once tombstones reach half
+// the list.
 func (s *Service) removeInstance(inst *Instance) {
-	for i, cur := range s.insts {
-		if cur == inst {
-			s.insts = append(s.insts[:i], s.insts[i+1:]...)
-			return
+	if inst.slot >= len(s.insts) || s.insts[inst.slot] != inst {
+		return
+	}
+	s.insts[inst.slot] = nil
+	s.deadInsts++
+	if s.deadInsts*2 <= len(s.insts) {
+		return
+	}
+	live := s.insts[:0]
+	for _, cur := range s.insts {
+		if cur != nil {
+			cur.slot = len(live)
+			live = append(live, cur)
 		}
 	}
+	// Clear the vacated tail so the backing array drops its references.
+	tail := s.insts[len(live):]
+	for i := range tail {
+		tail[i] = nil
+	}
+	s.insts = live
+	s.deadInsts = 0
 }

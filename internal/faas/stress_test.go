@@ -20,9 +20,11 @@ import (
 //   - billing counters never decrease.
 func TestPlatformInvariantsUnderRandomOps(t *testing.T) {
 	check := func(dc *DataCenter, acct *Account) error {
-		for _, name := range acct.svcSeq {
-			svc := acct.services[name]
+		for _, svc := range acct.svcSeq {
 			for _, inst := range svc.insts {
+				if inst == nil {
+					continue
+				}
 				if inst.state == StateTerminated {
 					t.Fatalf("terminated instance %s still listed in service", inst.id)
 				}

@@ -1,0 +1,83 @@
+// Command benchdiff compares two BENCH_*.json records (written by benchjson)
+// and fails when a benchmark regressed beyond a threshold.
+//
+// Usage:
+//
+//	go run ./internal/tools/benchdiff BENCH_baseline.json BENCH_pr3.json
+//	go run ./internal/tools/benchdiff -threshold 0.10 old.json new.json
+//
+// For every benchmark present in both records it prints base/head ns/op, the
+// speedup factor (base/head, >1 is faster), and the allocs/op movement.
+// Benchmarks only in one record are listed but never fail the run. Exit
+// status is 1 if any shared benchmark's ns/op grew by more than -threshold
+// (fractional; default 0.25 to absorb timer noise at Quick scale).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"eaao/internal/tools/benchfmt"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.25, "max tolerated fractional ns/op growth before failing")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold F] BASE.json HEAD.json")
+		os.Exit(2)
+	}
+	base, err := benchfmt.Read(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	head, err := benchfmt.Read(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	regressions := diff(os.Stdout, base, head, *threshold)
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed beyond %.0f%%\n", regressions, *threshold*100)
+		os.Exit(1)
+	}
+}
+
+// diff prints the comparison table and returns the number of shared
+// benchmarks whose ns/op grew beyond the fractional threshold.
+func diff(w io.Writer, base, head *benchfmt.File, threshold float64) int {
+	baseBy := base.ByName()
+	fmt.Fprintf(w, "benchdiff: %s -> %s (threshold %.0f%%)\n", base.Label, head.Label, threshold*100)
+	fmt.Fprintf(w, "%-45s %14s %14s %8s %18s\n", "benchmark", "base ns/op", "head ns/op", "speedup", "allocs/op")
+	regressions := 0
+	matched := make(map[string]bool, len(head.Benchmarks))
+	for _, hb := range head.Benchmarks {
+		bb, ok := baseBy[hb.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-45s %14s %14.0f %8s %18s\n", hb.Name, "(new)", hb.NsPerOp, "", "")
+			continue
+		}
+		matched[hb.Name] = true
+		speedup := 0.0
+		if hb.NsPerOp > 0 {
+			speedup = bb.NsPerOp / hb.NsPerOp
+		}
+		status := ""
+		if bb.NsPerOp > 0 && hb.NsPerOp > bb.NsPerOp*(1+threshold) {
+			status = "  REGRESSION"
+			regressions++
+		}
+		allocs := fmt.Sprintf("%.0f -> %.0f", bb.AllocsPerOp, hb.AllocsPerOp)
+		fmt.Fprintf(w, "%-45s %14.0f %14.0f %7.2fx %18s%s\n",
+			hb.Name, bb.NsPerOp, hb.NsPerOp, speedup, allocs, status)
+	}
+	for _, bb := range base.Benchmarks {
+		if !matched[bb.Name] {
+			fmt.Fprintf(w, "%-45s %14.0f %14s\n", bb.Name, bb.NsPerOp, "(removed)")
+		}
+	}
+	return regressions
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"eaao/internal/tools/benchfmt"
+)
+
+func rec(label string, benches ...benchfmt.Benchmark) *benchfmt.File {
+	return &benchfmt.File{Label: label, Benchmarks: benches}
+}
+
+func TestDiffSpeedupAndRegression(t *testing.T) {
+	base := rec("baseline",
+		benchfmt.Benchmark{Name: "BenchmarkFast", NsPerOp: 300, AllocsPerOp: 100},
+		benchfmt.Benchmark{Name: "BenchmarkSlow", NsPerOp: 100, AllocsPerOp: 10},
+		benchfmt.Benchmark{Name: "BenchmarkGone", NsPerOp: 50},
+	)
+	head := rec("pr",
+		benchfmt.Benchmark{Name: "BenchmarkFast", NsPerOp: 100, AllocsPerOp: 40},
+		benchfmt.Benchmark{Name: "BenchmarkSlow", NsPerOp: 200, AllocsPerOp: 10},
+		benchfmt.Benchmark{Name: "BenchmarkNew", NsPerOp: 70},
+	)
+	var out strings.Builder
+	regressions := diff(&out, base, head, 0.25)
+	if regressions != 1 {
+		t.Errorf("regressions = %d, want 1 (only BenchmarkSlow doubled)", regressions)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"3.00x",      // BenchmarkFast speedup 300/100
+		"100 -> 40",  // BenchmarkFast alloc movement
+		"REGRESSION", // BenchmarkSlow flagged
+		"(new)",      // BenchmarkNew never fails the run
+		"(removed)",  // BenchmarkGone listed
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestDiffWithinThresholdPasses(t *testing.T) {
+	base := rec("a", benchfmt.Benchmark{Name: "BenchmarkX", NsPerOp: 100})
+	head := rec("b", benchfmt.Benchmark{Name: "BenchmarkX", NsPerOp: 120})
+	var out strings.Builder
+	if n := diff(&out, base, head, 0.25); n != 0 {
+		t.Errorf("20%% growth under a 25%% threshold flagged: %d", n)
+	}
+	// Tighten the threshold and the same pair fails.
+	if n := diff(&out, base, head, 0.10); n != 1 {
+		t.Errorf("20%% growth over a 10%% threshold not flagged: %d", n)
+	}
+}

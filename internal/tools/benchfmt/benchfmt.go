@@ -1,0 +1,156 @@
+// Package benchfmt defines the checked-in benchmark-record format shared by
+// the benchjson and benchdiff tools: a JSON snapshot of `go test -bench`
+// output (ns/op, B/op, allocs/op, and custom ReportMetric figures) labeled
+// with its point in the repository's performance trajectory.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// File is one benchmark record (BENCH_<label>.json).
+type File struct {
+	// Label identifies the point in the trajectory (git short SHA,
+	// "baseline", "pr3", ...).
+	Label string `json:"label"`
+	// GoOS/GoArch/Pkg echo the `go test` header lines when present, so a
+	// diff across machines is visibly apples-to-oranges.
+	GoOS   string `json:"goos,omitempty"`
+	GoArch string `json:"goarch,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	// Benchmarks are the parsed result lines.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped
+	// (e.g. "BenchmarkPlacement/cloudrun").
+	Name string `json:"name"`
+	// Iterations is b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp, BytesPerOp, AllocsPerOp are the standard -benchmem figures;
+	// Bytes/Allocs are zero when -benchmem was off.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds every other value/unit pair (custom b.ReportMetric
+	// figures), keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Parse reads `go test -bench` text output. Unrecognized lines are skipped;
+// goos/goarch/pkg header lines fill the file metadata.
+func Parse(r io.Reader, label string) (*File, error) {
+	out := &File{Label: label}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			out.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			out.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			out.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		}
+		b, ok, err := parseLine(line)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out.Benchmarks = append(out.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseLine parses one "BenchmarkX-8  1234  567 ns/op  ..." line. ok is
+// false for non-benchmark lines (including FAIL markers).
+func parseLine(line string) (b Benchmark, ok bool, err error) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Benchmark{}, false, nil
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return Benchmark{}, false, nil
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix so records taken at different widths
+	// diff by name.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false, nil
+	}
+	b = Benchmark{Name: name, Iterations: iters}
+	// The remainder is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false, fmt.Errorf("benchfmt: bad value %q in line %q", fields[i], line)
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = val
+		case "B/op":
+			b.BytesPerOp = val
+		case "allocs/op":
+			b.AllocsPerOp = val
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = val
+		}
+	}
+	return b, true, nil
+}
+
+// Write marshals the record with stable formatting and a trailing newline.
+func Write(path string, f *File) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Read loads a record written by Write.
+func Read(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("benchfmt: %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// ByName indexes the record's benchmarks.
+func (f *File) ByName() map[string]Benchmark {
+	out := make(map[string]Benchmark, len(f.Benchmarks))
+	for _, b := range f.Benchmarks {
+		out[b.Name] = b
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package benchfmt
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseSampleOutput(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "sample_bench.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rec, err := Parse(f, "sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Label != "sample" || rec.GoOS != "linux" || rec.GoArch != "amd64" || rec.Pkg != "eaao" {
+		t.Errorf("header mismatch: %+v", rec)
+	}
+	if len(rec.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(rec.Benchmarks))
+	}
+
+	by := rec.ByName()
+	cr, ok := by["BenchmarkPlacement/cloudrun"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: have %v", keys(by))
+	}
+	if cr.Iterations != 4096 || cr.NsPerOp != 289519 || cr.BytesPerOp != 86408 || cr.AllocsPerOp != 1262 {
+		t.Errorf("cloudrun line misparsed: %+v", cr)
+	}
+
+	// Custom ReportMetric units land in Metrics, standard units do not.
+	fig4 := by["BenchmarkFig4Coverage"]
+	if got := fig4.Metrics["coverage_frac"]; got != 0.4321 {
+		t.Errorf("coverage_frac = %v, want 0.4321", got)
+	}
+	ver := by["BenchmarkAblationVerification/scalable"]
+	if got := ver.Metrics["tests"]; got != 41 {
+		t.Errorf("tests metric = %v, want 41", got)
+	}
+	if len(cr.Metrics) != 0 {
+		t.Errorf("standard units leaked into Metrics: %v", cr.Metrics)
+	}
+}
+
+func TestParseSkipsNonBenchmarkLines(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  	eaao	12.3s",
+		"--- BENCH: BenchmarkFoo-8",
+		"BenchmarkBroken-8 notanumber 5 ns/op",
+		"BenchmarkTooShort-8 100",
+	} {
+		b, ok, err := parseLine(line)
+		if err != nil {
+			t.Errorf("%q: unexpected error %v", line, err)
+		}
+		if ok {
+			t.Errorf("%q: parsed as benchmark %+v", line, b)
+		}
+	}
+	// A malformed value in an otherwise-valid line is a hard error.
+	if _, _, err := parseLine("BenchmarkX-8 100 abc ns/op"); err == nil {
+		t.Error("bad value accepted")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	in := &File{
+		Label: "x",
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkA", Iterations: 10, NsPerOp: 1.5, AllocsPerOp: 3,
+				Metrics: map[string]float64{"tests": 41}},
+		},
+	}
+	if err := Write(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Benchmarks) != 1 || out.Benchmarks[0].Name != "BenchmarkA" ||
+		out.Benchmarks[0].Metrics["tests"] != 41 {
+		t.Errorf("round trip mismatch: %+v", out)
+	}
+}
+
+func keys(m map[string]Benchmark) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

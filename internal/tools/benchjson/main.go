@@ -1,0 +1,66 @@
+// Command benchjson converts `go test -bench` text output into a stable,
+// check-in-able JSON record — one point of the repository's benchmark
+// trajectory (BENCH_<label>.json).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | go run ./internal/tools/benchjson -label pr3 -out BENCH_pr3.json
+//	go run ./internal/tools/benchjson -in bench.txt -label baseline -out BENCH_baseline.json
+//
+// Every benchmark line is captured: ns/op, B/op, allocs/op, and any custom
+// ReportMetric figures (e.g. coverage_frac, tests) land in the metrics map.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"eaao/internal/tools/benchfmt"
+)
+
+func main() {
+	label := flag.String("label", "", "trajectory label for this record (required)")
+	in := flag.String("in", "", "read bench output from this file instead of stdin")
+	out := flag.String("out", "", "write the JSON record here (default stdout)")
+	flag.Parse()
+	if *label == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -label is required")
+		os.Exit(2)
+	}
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		src = f
+	}
+	rec, err := benchfmt.Parse(src, *label)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rec.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in input")
+		os.Exit(1)
+	}
+	sort.SliceStable(rec.Benchmarks, func(i, j int) bool {
+		return rec.Benchmarks[i].Name < rec.Benchmarks[j].Name
+	})
+	if *out == "" {
+		data, _ := json.MarshalIndent(rec, "", "  ")
+		fmt.Println(string(data))
+		return
+	}
+	if err := benchfmt.Write(*out, rec); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rec.Benchmarks), *out)
+}
