@@ -201,7 +201,7 @@ func BenchmarkAblationThresholdM(b *testing.B) {
 // the pairwise and SIE baselines at equal instance counts.
 func BenchmarkAblationVerification(b *testing.B) {
 	const n = 80
-	run := func(b *testing.B, f func(*covert.Tester, []*Instance) (*coloc.Result, error)) {
+	run := func(b *testing.B, f func(coloc.Tester, []*Instance) (*coloc.Result, error)) {
 		var tests float64
 		for i := 0; i < b.N; i++ {
 			pl, insts := benchWorld(12, n, sandbox.Gen1)
@@ -215,7 +215,7 @@ func BenchmarkAblationVerification(b *testing.B) {
 		b.ReportMetric(tests, "tests")
 	}
 	b.Run("scalable", func(b *testing.B) {
-		run(b, func(t *covert.Tester, insts []*Instance) (*coloc.Result, error) {
+		run(b, func(t coloc.Tester, insts []*Instance) (*coloc.Result, error) {
 			return coloc.Verify(t, gen1Items(insts, fingerprint.DefaultPrecision), coloc.DefaultOptions())
 		})
 	})
@@ -330,6 +330,41 @@ func BenchmarkAblationServiceCount(b *testing.B) {
 				footprint = float64(res.Footprint.Cumulative())
 			}
 			b.ReportMetric(footprint, "hosts")
+		})
+	}
+}
+
+// BenchmarkCampaign drives the full campaign engine — launch, fingerprint,
+// verify, score — once per iteration for each built-in launch strategy, and
+// reports the ledger headlines. The -benchmem numbers bound the engine's
+// overhead over the raw strategy loops; the per-wave allocation budget is
+// asserted by TestRecordWaveAllocs.
+func BenchmarkCampaign(b *testing.B) {
+	for _, strat := range AttackStrategies() {
+		b.Run(strat.Name(), func(b *testing.B) {
+			var st CampaignStats
+			for i := 0; i < b.N; i++ {
+				pl, vic := benchWorld(16, 60, sandbox.Gen1)
+				dc := pl.MustRegion("bench")
+				cfg := DefaultAttackConfig()
+				cfg.Services = 2
+				cfg.InstancesPerLaunch = 200
+				cfg.Launches = 4
+				camp, err := NewAttackCampaign(dc.Account("atk"), cfg, Gen1, strat)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := camp.Launch(); err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := camp.Verify(vic); err != nil {
+					b.Fatal(err)
+				}
+				st = camp.Stats()
+			}
+			b.ReportMetric(float64(st.ApparentHosts), "hosts")
+			b.ReportMetric(st.USD, "usd")
+			b.ReportMetric(st.CoverageFraction(), "coverage")
 		})
 	}
 }

@@ -20,7 +20,7 @@ func runAttack(args []string, seed uint64, quick bool, policy eaao.PlacementPoli
 	launches := fs.Int("launches", 6, "launches per service")
 	interval := fs.Duration("interval", 10*time.Minute, "interval between launches")
 	victims := fs.Int("victims", 100, "victim instances")
-	strategy := fs.String("strategy", "optimized", "naive or optimized")
+	strategy := fs.String("strategy", "optimized", "naive, optimized, or adaptive")
 	gen2 := fs.Bool("gen2", false, "use the Gen 2 (VM) environment on both sides")
 	fs.SetOutput(os.Stderr)
 	if err := fs.Parse(args); err != nil {
@@ -70,38 +70,33 @@ func runAttack(args []string, seed uint64, quick bool, policy eaao.PlacementPoli
 	cfg.Launches = *launches
 	cfg.Interval = *interval
 
-	attacker := dc.Account("attacker")
-	attacker.ResetBill()
+	strat, err := eaao.AttackStrategyByName(*strategy)
+	if err != nil {
+		return err
+	}
 	start := time.Now()
-	var camp *eaao.CampaignResult
-	switch *strategy {
-	case "naive":
-		camp, err = eaao.RunNaiveAttack(attacker, cfg, gen)
-	case "optimized":
-		camp, err = eaao.RunOptimizedAttack(attacker, cfg, gen)
-	default:
-		return fmt.Errorf("unknown strategy %q (naive or optimized)", *strategy)
-	}
+	camp, err := eaao.NewAttackCampaign(dc.Account("attacker"), cfg, gen, strat)
 	if err != nil {
 		return err
 	}
-
-	tester := eaao.NewCovertTester(pl.Scheduler())
-	cov, spies, err := eaao.MeasureCoverageDetail(tester, camp.Live, vic, cfg.Precision)
+	res, err := camp.Launch()
 	if err != nil {
 		return err
 	}
-	bill := attacker.Bill()
-	cost := eaao.CloudRunRates().Cost(bill.VCPUSeconds, bill.GBSeconds)
+	cov, spies, err := camp.Verify(vic)
+	if err != nil {
+		return err
+	}
+	st := camp.Stats()
 
-	fmt.Printf("region:            %s (%s, %s strategy)\n", dc.Region(), gen, *strategy)
+	fmt.Printf("region:            %s (%s, %s strategy)\n", dc.Region(), gen, strat.Name())
 	fmt.Printf("campaign:          %d services × %d launches × %d instances @ %v\n",
 		cfg.Services, cfg.Launches, cfg.InstancesPerLaunch, cfg.Interval)
 	fmt.Printf("attacker footprint: %d apparent hosts, %d live instances\n",
-		camp.Footprint.Cumulative(), len(camp.Live))
+		res.Footprint.Cumulative(), len(res.Live))
 	fmt.Printf("victim coverage:   %s\n", cov)
 	fmt.Printf("co-located spies:  %d\n", len(spies))
-	fmt.Printf("campaign cost:     $%.2f (%d instances created)\n", cost, bill.Instances)
+	fmt.Println(st.String())
 	fmt.Printf("(simulated in %v)\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }

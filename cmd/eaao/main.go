@@ -222,7 +222,7 @@ func usage() {
 usage:
   eaao [flags] list
   eaao [flags] run <id>... | all
-  eaao [flags] attack [-region R] [-strategy naive|optimized] [-victims N] ...
+  eaao [flags] attack [-region R] [-strategy naive|optimized|adaptive] [-victims N] ...
 
 flags:
 `)

@@ -131,12 +131,30 @@ type (
 	VerifyResult = coloc.Result
 )
 
-// Attack-strategy types.
+// Attack-campaign types (the pluggable attack layer).
 type (
 	// AttackConfig parameterizes a launching campaign.
 	AttackConfig = attack.Config
-	// CampaignResult is the outcome of a campaign.
+	// Campaign is the staged attack pipeline: launch → fingerprint →
+	// verify → score, driven by a LaunchStrategy.
+	Campaign = attack.Campaign
+	// CampaignResult is the outcome of a campaign's launch stage.
 	CampaignResult = attack.CampaignResult
+	// CampaignStats is the per-stage cost/coverage ledger of a campaign.
+	CampaignStats = attack.CampaignStats
+	// CampaignSink is the engine surface a LaunchStrategy emits waves
+	// through.
+	CampaignSink = attack.CampaignSink
+	// LaunchStrategy is a pluggable §5.2 launching behavior.
+	LaunchStrategy = attack.LaunchStrategy
+	// Wave is one launch of one service as a strategy observes it.
+	Wave = attack.Wave
+	// NaiveStrategy is launching Strategy 1 (cold launches only).
+	NaiveStrategy = attack.NaiveStrategy
+	// OptimizedStrategy is launching Strategy 2 (demand priming).
+	OptimizedStrategy = attack.OptimizedStrategy
+	// AdaptiveStrategy stops launching when marginal host yield dries up.
+	AdaptiveStrategy = attack.AdaptiveStrategy
 	// Coverage is an attacker-vs-victim co-location measurement.
 	Coverage = attack.Coverage
 	// FootprintTracker accumulates apparent hosts across launches.
@@ -291,6 +309,22 @@ func RunNaiveAttack(acct *Account, cfg AttackConfig, gen Gen) (*CampaignResult, 
 // RunOptimizedAttack executes launching Strategy 2 (demand priming).
 func RunOptimizedAttack(acct *Account, cfg AttackConfig, gen Gen) (*CampaignResult, error) {
 	return attack.RunOptimized(acct, cfg, gen)
+}
+
+// NewAttackCampaign binds a launch strategy to an attacker account; run its
+// stages with Campaign.Launch and Campaign.Verify, and read the cost ledger
+// back with Campaign.Stats.
+func NewAttackCampaign(acct *Account, cfg AttackConfig, gen Gen, strategy LaunchStrategy) (*Campaign, error) {
+	return attack.NewCampaign(acct, cfg, gen, strategy)
+}
+
+// AttackStrategies returns one instance of every built-in launch strategy.
+func AttackStrategies() []LaunchStrategy { return attack.Strategies() }
+
+// AttackStrategyByName resolves a built-in launch strategy from its name
+// ("naive", "optimized", "adaptive").
+func AttackStrategyByName(name string) (LaunchStrategy, error) {
+	return attack.StrategyByName(name)
 }
 
 // MeasureCoverage verifies attacker-victim co-location.

@@ -119,8 +119,8 @@ func TestAttackJourney(t *testing.T) {
 
 func TestExperimentRegistryThroughFacade(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 22 {
-		t.Fatalf("registry has %d experiments, want 22", len(exps))
+	if len(exps) != 23 {
+		t.Fatalf("registry has %d experiments, want 23", len(exps))
 	}
 	res, err := RunExperiment("table1", benchCtx())
 	if err != nil {
@@ -199,5 +199,52 @@ func TestMitigatedPlatformThroughFacade(t *testing.T) {
 	}
 	if splits == 0 {
 		t.Error("mitigated platform still produces stable host fingerprints")
+	}
+}
+
+func TestCampaignJourney(t *testing.T) {
+	// The campaign-engine variant of the attack journey: pick a strategy by
+	// its CLI name, run the staged pipeline, read the ledger.
+	if got := len(AttackStrategies()); got != 3 {
+		t.Fatalf("AttackStrategies() = %d entries", got)
+	}
+	strat, err := AttackStrategyByName("adaptive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AttackStrategyByName("nope"); err == nil {
+		t.Error("unknown strategy resolved through the facade")
+	}
+
+	pl := NewPlatform(7, USEast1Profile())
+	dc := pl.MustRegion(USEast1)
+	vic, err := dc.Account("victim").DeployService("login", ServiceConfig{}).Launch(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultAttackConfig()
+	cfg.Services = 3
+	cfg.InstancesPerLaunch = 300
+	cfg.Launches = 4
+	camp, err := NewAttackCampaign(dc.Account("attacker"), cfg, Gen1, strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := camp.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	cov, spies, err := camp.Verify(vic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := camp.Stats()
+	if st.Strategy != "adaptive" || st.Waves == 0 || st.USD <= 0 {
+		t.Errorf("ledger incomplete: %+v", st)
+	}
+	if !cov.AtLeastOne || len(spies) == 0 {
+		t.Errorf("campaign found no co-location: %s", cov)
+	}
+	if st.CoverageFraction() != cov.Fraction() {
+		t.Errorf("ledger coverage %v vs measured %v", st.CoverageFraction(), cov.Fraction())
 	}
 }

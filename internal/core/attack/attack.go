@@ -12,6 +12,14 @@
 //     spreading the attacker across a large fraction of the data center at
 //     negligible cost (instances idle between launches bill nothing).
 //
+// Both strategies are plugins of the campaign engine: a LaunchStrategy
+// emits launch waves through a CampaignSink, and the staged Campaign
+// pipeline (launch → fingerprint → verify → score) owns footprint tracking,
+// covert verification, and the per-stage CampaignStats cost ledger. New
+// launching behaviors (e.g. AdaptiveStrategy, which stops when marginal
+// host yield dries up) are small strategy implementations, not forks of the
+// launch loop.
+//
 // The package also provides fingerprint-based host-footprint tracking (the
 // "apparent hosts" of §5.1) and victim-coverage measurement via verified
 // co-location.
@@ -23,7 +31,6 @@ import (
 
 	"eaao/internal/core/fingerprint"
 	"eaao/internal/faas"
-	"eaao/internal/sandbox"
 	"eaao/internal/simtime"
 )
 
@@ -80,6 +87,9 @@ func (c Config) Validate() error {
 type FootprintTracker struct {
 	precision time.Duration
 	seen      map[fingerprint.Gen1]bool
+	// batch is per-Record scratch, reused so the per-wave hot path settles
+	// to zero steady-state allocations (see TestRecordWaveAllocs).
+	batch map[fingerprint.Gen1]bool
 }
 
 // NewFootprintTracker builds a tracker at the given precision.
@@ -93,7 +103,10 @@ func NewFootprintTracker(precision time.Duration) *FootprintTracker {
 // Record fingerprints the instances and returns the number of apparent hosts
 // in this batch; the tracker's cumulative set grows accordingly.
 func (ft *FootprintTracker) Record(insts []*faas.Instance) (apparent int, err error) {
-	batch := make(map[fingerprint.Gen1]bool, len(insts))
+	if ft.batch == nil {
+		ft.batch = make(map[fingerprint.Gen1]bool, len(insts))
+	}
+	clear(ft.batch)
 	for _, inst := range insts {
 		g, err := inst.Guest()
 		if err != nil {
@@ -104,10 +117,10 @@ func (ft *FootprintTracker) Record(insts []*faas.Instance) (apparent int, err er
 			return 0, err
 		}
 		fp := fingerprint.Gen1FromSample(s, ft.precision)
-		batch[fp] = true
+		ft.batch[fp] = true
 		ft.seen[fp] = true
 	}
-	return len(batch), nil
+	return len(ft.batch), nil
 }
 
 // Cumulative returns the size of the cumulative apparent-host footprint.
@@ -150,85 +163,3 @@ func serviceNames(prefix string, n int) []string {
 	return out
 }
 
-// RunNaive executes Strategy 1: each service is launched once from a cold
-// state and kept connected. With the default config this deploys
-// Services × InstancesPerLaunch instances (the paper's 4800 from six
-// services).
-func RunNaive(acct *faas.Account, cfg Config, gen sandbox.Gen) (*CampaignResult, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	sched := acct.DataCenter().Scheduler()
-	res := &CampaignResult{Footprint: NewFootprintTracker(cfg.Precision)}
-	for _, name := range serviceNames("naive", cfg.Services) {
-		svc := acct.DeployService(name, faas.ServiceConfig{Gen: gen})
-		insts, err := svc.Launch(cfg.InstancesPerLaunch)
-		if err != nil {
-			return nil, err
-		}
-		apparent, err := res.Footprint.Record(insts)
-		if err != nil {
-			return nil, err
-		}
-		res.Records = append(res.Records, LaunchRecord{
-			Service:    name,
-			LaunchID:   1,
-			At:         sched.Now(),
-			Apparent:   apparent,
-			Cumulative: res.Footprint.Cumulative(),
-		})
-		res.Live = append(res.Live, insts...)
-	}
-	return res, nil
-}
-
-// RunOptimized executes Strategy 2: every service is launched Launches times
-// at Interval spacing; after each launch the instances are held active for
-// HoldActive (for measurement) and disconnected — except after the final
-// launch, whose instances stay connected as the attack's resident footprint.
-func RunOptimized(acct *faas.Account, cfg Config, gen sandbox.Gen) (*CampaignResult, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	sched := acct.DataCenter().Scheduler()
-	res := &CampaignResult{Footprint: NewFootprintTracker(cfg.Precision)}
-	names := serviceNames("opt", cfg.Services)
-	services := make([]*faas.Service, len(names))
-	for i, name := range names {
-		services[i] = acct.DeployService(name, faas.ServiceConfig{Gen: gen})
-	}
-	for launch := 1; launch <= cfg.Launches; launch++ {
-		last := launch == cfg.Launches
-		for i, svc := range services {
-			insts, err := svc.Launch(cfg.InstancesPerLaunch)
-			if err != nil {
-				return nil, err
-			}
-			apparent, err := res.Footprint.Record(insts)
-			if err != nil {
-				return nil, err
-			}
-			res.Records = append(res.Records, LaunchRecord{
-				Service:    names[i],
-				LaunchID:   launch,
-				At:         sched.Now(),
-				Apparent:   apparent,
-				Cumulative: res.Footprint.Cumulative(),
-			})
-			if last {
-				res.Live = append(res.Live, insts...)
-			}
-		}
-		sched.Advance(cfg.HoldActive)
-		if !last {
-			for _, svc := range services {
-				svc.Disconnect()
-			}
-			rest := cfg.Interval - cfg.HoldActive
-			if rest > 0 {
-				sched.Advance(rest)
-			}
-		}
-	}
-	return res, nil
-}

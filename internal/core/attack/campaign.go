@@ -1,0 +1,190 @@
+package attack
+
+import (
+	"fmt"
+	"time"
+
+	"eaao/internal/core/covert"
+	"eaao/internal/faas"
+	"eaao/internal/pricing"
+	"eaao/internal/randx"
+	"eaao/internal/sandbox"
+	"eaao/internal/simtime"
+)
+
+// Campaign is the staged attack pipeline of §5.2:
+//
+//	launch → fingerprint → verify → score
+//
+// A LaunchStrategy drives the launch stage through a CampaignSink; the
+// engine fingerprints every wave into the campaign footprint as it lands
+// (the fingerprint stage rides inside LaunchWave, exactly as the paper's
+// tooling measures each batch while it is connected); Verify runs the §4.3
+// covert-channel verification of the resident footprint against a victim
+// set; and the CampaignStats ledger prices every stage as it happens.
+//
+// The engine adds no platform interactions beyond the ones the strategy
+// emits — no RNG draws, no clock advances — so driving NaiveStrategy or
+// OptimizedStrategy through a Campaign reproduces the historical
+// RunNaive/RunOptimized byte for byte.
+type Campaign struct {
+	acct     *faas.Account
+	cfg      Config
+	gen      sandbox.Gen
+	strategy LaunchStrategy
+	sched    *simtime.Scheduler
+
+	res    *CampaignResult
+	stats  CampaignStats
+	tester *covert.Tester
+}
+
+// NewCampaign validates the configuration and binds a strategy to an
+// attacker account. The campaign's services run in the given sandbox
+// generation.
+func NewCampaign(acct *faas.Account, cfg Config, gen sandbox.Gen, strategy LaunchStrategy) (*Campaign, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if strategy == nil {
+		return nil, fmt.Errorf("attack: campaign needs a strategy")
+	}
+	return &Campaign{
+		acct:     acct,
+		cfg:      cfg,
+		gen:      gen,
+		strategy: strategy,
+		sched:    acct.DataCenter().Scheduler(),
+	}, nil
+}
+
+// Launch runs the launch+fingerprint stages: the strategy emits waves
+// through the engine's sink until it decides the footprint is built. It can
+// run at most once per campaign.
+func (c *Campaign) Launch() (*CampaignResult, error) {
+	if c.res != nil {
+		return nil, fmt.Errorf("attack: campaign already launched")
+	}
+	c.res = &CampaignResult{Footprint: NewFootprintTracker(c.cfg.Precision)}
+	c.stats.Strategy = c.strategy.Name()
+	billStart := c.acct.Bill()
+	startedAt := c.sched.Now()
+	// The strategy RNG derives from the world seed plus the campaign
+	// identity: deterministic per seed, independent across accounts and
+	// strategies, and — crucially — disjoint from every platform stream, so
+	// strategies that draw from it cannot disturb placement randomness.
+	rng := randx.New(c.acct.DataCenter().Platform().Seed()).
+		Derive("attack-campaign", c.acct.ID(), c.strategy.Name())
+	if err := c.strategy.Launch(campaignSink{c}, c.acct, c.cfg, rng); err != nil {
+		return nil, err
+	}
+	c.stats.LiveInstances = len(c.res.Live)
+	c.stats.ApparentHosts = c.res.Footprint.Cumulative()
+	c.stats.LaunchWall = c.sched.Now().Sub(startedAt)
+	bill := c.acct.Bill()
+	c.stats.VCPUSeconds = bill.VCPUSeconds - billStart.VCPUSeconds
+	c.stats.GBSeconds = bill.GBSeconds - billStart.GBSeconds
+	c.stats.USD = pricing.CloudRunRates().Cost(c.stats.VCPUSeconds, c.stats.GBSeconds)
+	return c.res, nil
+}
+
+// Result returns the launch-stage outcome, or nil before Launch.
+func (c *Campaign) Result() *CampaignResult { return c.res }
+
+// Stats returns a snapshot of the per-stage cost/coverage ledger.
+func (c *Campaign) Stats() CampaignStats { return c.stats }
+
+// Tester returns the campaign's covert-channel tester, creating it with the
+// paper's default configuration on first use. The tester is instrumented
+// with the stats ledger: every CTest run through it — by Verify or by the
+// caller directly — is charged to the campaign's verify stage. Creating a
+// tester consumes no randomness and advances no clocks, so lazy creation
+// cannot perturb determinism.
+func (c *Campaign) Tester() *covert.Tester {
+	if c.tester == nil {
+		c.SetTester(covert.NewTester(c.sched, covert.DefaultConfig()))
+	}
+	return c.tester
+}
+
+// SetTester replaces the campaign's covert tester (e.g. with a calibrated or
+// memory-bus configuration). The campaign takes over cost accounting: the
+// tester's sink is pointed at the stats ledger.
+func (c *Campaign) SetTester(t *covert.Tester) {
+	c.tester = t
+	t.SetSink(&c.stats)
+}
+
+// Verify runs the verify+score stages against a victim instance set: the
+// §4.3 scalable methodology verifies the campaign's live footprint against
+// the victims, and the outcome is folded into the stats ledger. It returns
+// the coverage plus the verified co-located attacker instances (the spies
+// for extraction and re-attack targeting). Verify may run repeatedly, e.g.
+// once per victim configuration, sharing one tester across calls exactly as
+// the paper's per-day measurement sessions do.
+func (c *Campaign) Verify(victims []*faas.Instance) (Coverage, []*faas.Instance, error) {
+	if c.res == nil {
+		return Coverage{}, nil, fmt.Errorf("attack: Verify before Launch")
+	}
+	cov, spies, err := MeasureCoverageDetail(c.Tester(), c.res.Live, victims, c.cfg.Precision)
+	if err != nil {
+		return Coverage{}, nil, err
+	}
+	c.stats.Verifications++
+	c.stats.VictimInstances += cov.VictimTotal
+	c.stats.VictimsCovered += cov.VictimCovered
+	return cov, spies, nil
+}
+
+// campaignSink is the engine's CampaignSink implementation, bound to one
+// running campaign.
+type campaignSink struct{ c *Campaign }
+
+// Deploy implements CampaignSink.
+func (s campaignSink) Deploy(name string) *faas.Service {
+	return s.c.acct.DeployService(name, faas.ServiceConfig{Gen: s.c.gen})
+}
+
+// LaunchWave implements CampaignSink: launch, fingerprint, record.
+func (s campaignSink) LaunchWave(svc *faas.Service, launchID int) (Wave, error) {
+	c := s.c
+	insts, err := svc.Launch(c.cfg.InstancesPerLaunch)
+	if err != nil {
+		return Wave{}, err
+	}
+	apparent, err := c.res.Footprint.Record(insts)
+	if err != nil {
+		return Wave{}, err
+	}
+	w := Wave{
+		Service:    svc.Name(),
+		LaunchID:   launchID,
+		Instances:  insts,
+		Apparent:   apparent,
+		Cumulative: c.res.Footprint.Cumulative(),
+	}
+	c.res.Records = append(c.res.Records, LaunchRecord{
+		Service:    w.Service,
+		LaunchID:   w.LaunchID,
+		At:         c.sched.Now(),
+		Apparent:   w.Apparent,
+		Cumulative: w.Cumulative,
+	})
+	c.stats.Waves++
+	c.stats.InstancesLaunched += len(insts)
+	c.stats.FingerprintSamples += len(insts)
+	return w, nil
+}
+
+// Keep implements CampaignSink.
+func (s campaignSink) Keep(insts []*faas.Instance) {
+	s.c.res.Live = append(s.c.res.Live, insts...)
+}
+
+// Hold implements CampaignSink.
+func (s campaignSink) Hold(d time.Duration) {
+	s.c.sched.Advance(d)
+}
+
+// Footprint implements CampaignSink.
+func (s campaignSink) Footprint() *FootprintTracker { return s.c.res.Footprint }

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"eaao/internal/core/coloc"
-	"eaao/internal/core/covert"
 	"eaao/internal/core/fingerprint"
 	"eaao/internal/faas"
 )
@@ -54,7 +53,7 @@ func (c Coverage) String() string {
 // covert-channel budget proportional to hosts rather than instances, only
 // one attacker instance per apparent host joins the verification, exactly as
 // an attacker would do in practice.
-func MeasureCoverage(tester *covert.Tester, attacker, victims []*faas.Instance, precision time.Duration) (Coverage, error) {
+func MeasureCoverage(tester coloc.Tester, attacker, victims []*faas.Instance, precision time.Duration) (Coverage, error) {
 	cov, _, err := MeasureCoverageDetail(tester, attacker, victims, precision)
 	return cov, err
 }
@@ -63,7 +62,7 @@ func MeasureCoverage(tester *covert.Tester, attacker, victims []*faas.Instance, 
 // attacker instances verified to share a host with at least one victim —
 // the spies for the extraction step, and the input to a re-attack
 // TargetBook.
-func MeasureCoverageDetail(tester *covert.Tester, attacker, victims []*faas.Instance, precision time.Duration) (Coverage, []*faas.Instance, error) {
+func MeasureCoverageDetail(tester coloc.Tester, attacker, victims []*faas.Instance, precision time.Duration) (Coverage, []*faas.Instance, error) {
 	gen2 := false
 	for _, inst := range attacker {
 		g, err := inst.Guest()

@@ -68,6 +68,33 @@ func (tb *TargetBook) Matches(fp fingerprint.Gen1) bool {
 	return false
 }
 
+// Prune drops recorded victim hosts no longer present in a current campaign
+// footprint, returning how many entries were removed. A book accumulated over
+// days otherwise grows stale — hosts retire, fingerprints expire (§4.4.2) —
+// and every stale entry widens Focus's drift-tolerant matching for nothing.
+// Matching against the footprint uses the same ±1-bucket drift tolerance as
+// Matches, in the opposite direction: a recorded fingerprint survives when the
+// footprint saw the same CPU model within one rounding boundary.
+func (tb *TargetBook) Prune(current *FootprintTracker) int {
+	pruned := 0
+	for fp := range tb.hosts {
+		alive := current.seen[fp]
+		for _, d := range []int64{-1, 1} {
+			if alive {
+				break
+			}
+			adj := fp
+			adj.BootBucket += d
+			alive = current.seen[adj]
+		}
+		if !alive {
+			delete(tb.hosts, fp)
+			pruned++
+		}
+	}
+	return pruned
+}
+
 // Focus filters the attacker's live instances down to those residing on
 // recorded victim hosts: the only instances that need to run the expensive
 // side-channel extraction in a repeat attack. The returned effort fraction

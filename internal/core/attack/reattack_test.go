@@ -235,3 +235,41 @@ func TestTargetBookSaveDeterministic(t *testing.T) {
 		t.Error("Save output not deterministic")
 	}
 }
+
+func TestTargetBookPrune(t *testing.T) {
+	book := NewTargetBook(time.Second)
+	mk := func(model string, bucket int64) fingerprint.Gen1 {
+		return fingerprint.Gen1{Model: model, BootBucket: bucket, PrecisionNs: int64(time.Second)}
+	}
+	exact := mk("M", 1000)   // present in the current footprint
+	drifted := mk("M", 2000) // footprint saw the adjacent bucket 2001
+	stale := mk("M", 3000)   // nowhere near the current footprint
+	wrongModel := mk("gone", 1000)
+	for _, fp := range []fingerprint.Gen1{exact, drifted, stale, wrongModel} {
+		book.hosts[fp] = true
+	}
+
+	current := NewFootprintTracker(time.Second)
+	current.seen[exact] = true
+	current.seen[mk("M", 2001)] = true
+
+	if pruned := book.Prune(current); pruned != 2 {
+		t.Errorf("pruned %d entries, want 2 (stale bucket + retired model)", pruned)
+	}
+	if book.Size() != 2 {
+		t.Fatalf("book size = %d after prune, want 2", book.Size())
+	}
+	if !book.Matches(exact) || !book.Matches(drifted) {
+		t.Error("prune dropped entries the footprint still corroborates")
+	}
+	if book.Matches(stale) || book.Matches(wrongModel) {
+		t.Error("stale entries survived the prune")
+	}
+	// Pruning against an empty footprint empties the book.
+	if pruned := book.Prune(NewFootprintTracker(time.Second)); pruned != 2 {
+		t.Errorf("second prune removed %d, want 2", pruned)
+	}
+	if book.Size() != 0 {
+		t.Errorf("book size = %d after pruning against nothing", book.Size())
+	}
+}

@@ -1,0 +1,96 @@
+package attack
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"eaao/internal/core/covert"
+)
+
+// CampaignStats is the per-stage cost/coverage ledger of one campaign run.
+// The launch stage prices what the attacker pays (instances, active
+// vCPU-seconds, dollars); the fingerprint stage counts what the attacker
+// learned (samples, apparent hosts); the verify stage meters the
+// covert-channel budget; the score stage tallies victim coverage. A
+// snapshot is available at any point via Campaign.Stats.
+type CampaignStats struct {
+	// Strategy is the name of the LaunchStrategy that ran the campaign.
+	Strategy string
+
+	// Launch stage.
+
+	// Waves is the number of launch waves the strategy emitted.
+	Waves int
+	// InstancesLaunched is the total instance count across all waves.
+	InstancesLaunched int
+	// LiveInstances is the resident footprint size after the launch stage.
+	LiveInstances int
+	// LaunchWall is the virtual time the launch stage spanned.
+	LaunchWall time.Duration
+	// VCPUSeconds and GBSeconds are the billable active usage the campaign
+	// accrued during its launch stage (idle time between launches is free).
+	VCPUSeconds float64
+	GBSeconds   float64
+	// USD prices that usage at the published Cloud Run rates.
+	USD float64
+
+	// Fingerprint stage.
+
+	// FingerprintSamples is how many instances were fingerprinted.
+	FingerprintSamples int
+	// ApparentHosts is the cumulative apparent-host footprint (distinct
+	// Gen 1 fingerprints; the §5.1 metric).
+	ApparentHosts int
+
+	// Verify stage.
+
+	// Verifications counts Campaign.Verify calls.
+	Verifications int
+	// CTests counts covert-channel tests run through the campaign's tester.
+	CTests int
+	// CovertTime is the serialized wall-clock those tests consumed.
+	CovertTime time.Duration
+	// CovertInstanceTime is Σ over tests of participants × duration — the
+	// per-instance channel occupancy the attacker also pays for.
+	CovertInstanceTime time.Duration
+
+	// Score stage.
+
+	// VictimInstances and VictimsCovered accumulate over Verify calls.
+	VictimInstances int
+	VictimsCovered  int
+}
+
+// ObserveTest implements covert.Sink: the campaign's tester reports every
+// CTest here, which is how the verify stage is metered even when the caller
+// drives the tester directly.
+func (s *CampaignStats) ObserveTest(ev covert.TestEvent) {
+	s.CTests++
+	s.CovertTime += ev.Duration
+	s.CovertInstanceTime += time.Duration(ev.Participants) * ev.Duration
+}
+
+// CoverageFraction returns covered/measured victims across all Verify
+// calls, or 0 before any verification.
+func (s CampaignStats) CoverageFraction() float64 {
+	if s.VictimInstances == 0 {
+		return 0
+	}
+	return float64(s.VictimsCovered) / float64(s.VictimInstances)
+}
+
+// String renders the ledger, one line per pipeline stage.
+func (s CampaignStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign ledger (%s):\n", s.Strategy)
+	fmt.Fprintf(&b, "  launch:      %d waves, %d instances (%d live), %v wall, %.0f vCPU-s ($%.2f)\n",
+		s.Waves, s.InstancesLaunched, s.LiveInstances, s.LaunchWall, s.VCPUSeconds, s.USD)
+	fmt.Fprintf(&b, "  fingerprint: %d samples, %d apparent hosts\n",
+		s.FingerprintSamples, s.ApparentHosts)
+	fmt.Fprintf(&b, "  verify:      %d verifications, %d CTests, %v channel time\n",
+		s.Verifications, s.CTests, s.CovertTime)
+	fmt.Fprintf(&b, "  score:       %d/%d victims covered (%.1f%%)",
+		s.VictimsCovered, s.VictimInstances, 100*s.CoverageFraction())
+	return b.String()
+}

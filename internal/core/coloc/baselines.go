@@ -3,13 +3,12 @@ package coloc
 import (
 	"time"
 
-	"eaao/internal/core/covert"
 	"eaao/internal/faas"
 )
 
 // VerifyPairwise is the conventional O(N²) baseline [41, 54, 59]: every pair
 // of instances is covert-channel tested, serialized to avoid interference.
-func VerifyPairwise(tester *covert.Tester, instances []*faas.Instance) (*Result, error) {
+func VerifyPairwise(tester Tester, instances []*faas.Instance) (*Result, error) {
 	before := tester.Stats().Tests
 	uf := newUnionFind(len(instances))
 	for i := 0; i < len(instances); i++ {
@@ -32,7 +31,7 @@ func VerifyPairwise(tester *covert.Tester, instances []*faas.Instance) (*Result,
 // the survivors. In FaaS environments the orchestrator stacks ~10 instances
 // per host, so virtually everything survives the filter and SIE saves almost
 // nothing (§4.3).
-func VerifySIE(tester *covert.Tester, instances []*faas.Instance) (*Result, error) {
+func VerifySIE(tester Tester, instances []*faas.Instance) (*Result, error) {
 	before := tester.Stats().Tests
 	uf := newUnionFind(len(instances))
 	survivors := make([]int, 0, len(instances))
@@ -63,7 +62,7 @@ func VerifySIE(tester *covert.Tester, instances []*faas.Instance) (*Result, erro
 }
 
 // baselineResult assembles a Result for the serialized baselines.
-func baselineResult(tester *covert.Tester, instances []*faas.Instance, uf *unionFind, testsBefore int) *Result {
+func baselineResult(tester Tester, instances []*faas.Instance, uf *unionFind, testsBefore int) *Result {
 	ids := make([]int, len(instances))
 	for i := range ids {
 		ids[i] = i

@@ -42,6 +42,17 @@ type Item struct {
 	ConflictKey string
 }
 
+// Tester is the covert-channel capability verification needs: n-way and
+// pairwise testing plus the cost counters. *covert.Tester satisfies it; the
+// indirection lets callers hand in instrumented testers (e.g. the attack
+// campaign engine's ledger-metered tester) without this package knowing.
+type Tester interface {
+	CTest(instances []*faas.Instance, m int) ([]bool, error)
+	PairTest(a, b *faas.Instance) (bool, error)
+	Config() covert.Config
+	Stats() covert.Stats
+}
+
 // Options tunes the verification.
 type Options struct {
 	// M is the contention threshold (≥ 2). Sub-groups of up to 2M−1
@@ -82,7 +93,7 @@ type Result struct {
 
 // verifier carries the run state.
 type verifier struct {
-	tester *covert.Tester
+	tester Tester
 	opt    Options
 	res    *Result
 	// instBuf is the scratch instance slice handed to CTest; reused across
@@ -91,7 +102,7 @@ type verifier struct {
 }
 
 // Verify runs the scalable methodology over the items.
-func Verify(tester *covert.Tester, items []Item, opt Options) (*Result, error) {
+func Verify(tester Tester, items []Item, opt Options) (*Result, error) {
 	if opt.M < 2 {
 		return nil, fmt.Errorf("coloc: threshold M=%d, need at least 2", opt.M)
 	}

@@ -80,12 +80,31 @@ type Stats struct {
 	InstanceTime time.Duration // Σ over tests of (participants × duration)
 }
 
+// TestEvent describes one completed CTest for an observer.
+type TestEvent struct {
+	// Participants is the number of instances under test.
+	Participants int
+	// Positives is how many of them tested positive.
+	Positives int
+	// Duration is the virtual wall-clock the test consumed.
+	Duration time.Duration
+}
+
+// Sink observes every CTest a Tester runs (PairTest included, since it is a
+// two-instance CTest). The attack campaign engine uses a sink to charge
+// covert-channel spend to its per-stage cost ledger without wrapping the
+// tester.
+type Sink interface {
+	ObserveTest(TestEvent)
+}
+
 // Tester executes CTest invocations against the simulated platform,
 // advancing the virtual clock for each test and accounting costs.
 type Tester struct {
 	cfg   Config
 	sched *simtime.Scheduler
 	stats Stats
+	sink  Sink
 
 	// votes and obs are per-test scratch reused across CTests (a test runs
 	// Rounds contention rounds; without reuse each round allocated a fresh
@@ -113,6 +132,11 @@ func (t *Tester) Stats() Stats { return t.stats }
 
 // ResetStats zeroes the cost counters.
 func (t *Tester) ResetStats() { t.stats = Stats{} }
+
+// SetSink installs (or, with nil, removes) an observer notified after every
+// CTest. Observation is free of platform side effects: the sink sees an event
+// after the clock already advanced and the stats already accumulated.
+func (t *Tester) SetSink(s Sink) { t.sink = s }
 
 // CTest runs one n-way covert-channel test with contention threshold m.
 // Instance i tests positive when it observed at least m units of contention
@@ -151,8 +175,19 @@ func (t *Tester) CTest(instances []*faas.Instance, m int) ([]bool, error) {
 	t.stats.InstanceTime += time.Duration(len(instances)) * t.cfg.TestDuration
 
 	out := make([]bool, len(instances))
+	positives := 0
 	for i, v := range votes {
 		out[i] = v >= t.cfg.VoteThreshold
+		if out[i] {
+			positives++
+		}
+	}
+	if t.sink != nil {
+		t.sink.ObserveTest(TestEvent{
+			Participants: len(instances),
+			Positives:    positives,
+			Duration:     t.cfg.TestDuration,
+		})
 	}
 	return out, nil
 }

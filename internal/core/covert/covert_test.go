@@ -296,3 +296,59 @@ func TestResourceStrings(t *testing.T) {
 		t.Error("unknown resource name")
 	}
 }
+
+// recordingSink captures every TestEvent for inspection.
+type recordingSink struct{ events []TestEvent }
+
+func (r *recordingSink) ObserveTest(ev TestEvent) { r.events = append(r.events, ev) }
+
+func TestSinkObservesEveryCTest(t *testing.T) {
+	pl, insts := testWorld(t, 7, 30)
+	tester := NewTester(pl.Scheduler(), DefaultConfig())
+	sink := &recordingSink{}
+	tester.SetSink(sink)
+
+	out, err := tester.CTest(insts[:5], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.events) != 1 {
+		t.Fatalf("sink saw %d events after one CTest", len(sink.events))
+	}
+	ev := sink.events[0]
+	if ev.Participants != 5 {
+		t.Errorf("participants = %d", ev.Participants)
+	}
+	if ev.Duration != tester.Config().TestDuration {
+		t.Errorf("duration = %v, want %v", ev.Duration, tester.Config().TestDuration)
+	}
+	positives := 0
+	for _, pos := range out {
+		if pos {
+			positives++
+		}
+	}
+	if ev.Positives != positives {
+		t.Errorf("event positives = %d, CTest reported %d", ev.Positives, positives)
+	}
+
+	// PairTest is a two-instance CTest, so it must be observed too.
+	if _, err := tester.PairTest(insts[0], insts[1]); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.events) != 2 || sink.events[1].Participants != 2 {
+		t.Fatalf("PairTest not observed: %+v", sink.events)
+	}
+	if got, want := len(sink.events), tester.Stats().Tests; got != want {
+		t.Errorf("sink events %d diverge from tester stats %d", got, want)
+	}
+
+	// Removing the sink stops observation without touching the tester.
+	tester.SetSink(nil)
+	if _, err := tester.CTest(insts[:3], 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.events) != 2 {
+		t.Error("removed sink still observed a test")
+	}
+}

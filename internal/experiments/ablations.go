@@ -193,11 +193,11 @@ func runAblations(ctx Context) (*Result, error) {
 		cfg.InstancesPerLaunch = n
 		cfg.Launches = 4
 		cfg.Interval = intervals[t.Index]
-		camp, err := attack.RunOptimized(dc.Account("atk"), cfg, sandbox.Gen1)
+		camp, err := launchCampaign(dc, "atk", cfg, attack.OptimizedStrategy{}, sandbox.Gen1)
 		if err != nil {
 			return 0, err
 		}
-		return camp.Footprint.Cumulative(), nil
+		return camp.Stats().ApparentHosts, nil
 	})
 	if err != nil {
 		return nil, err
@@ -219,11 +219,11 @@ func runAblations(ctx Context) (*Result, error) {
 		cfg.Services = serviceCounts[t.Index]
 		cfg.InstancesPerLaunch = n
 		cfg.Launches = 4
-		camp, err := attack.RunOptimized(dc.Account("atk"), cfg, sandbox.Gen1)
+		camp, err := launchCampaign(dc, "atk", cfg, attack.OptimizedStrategy{}, sandbox.Gen1)
 		if err != nil {
 			return 0, err
 		}
-		return camp.Footprint.Cumulative(), nil
+		return camp.Stats().ApparentHosts, nil
 	})
 	if err != nil {
 		return nil, err
@@ -251,24 +251,15 @@ func runAblations(ctx Context) (*Result, error) {
 		cfg.Services = 2
 		cfg.InstancesPerLaunch = n
 		cfg.Launches = 4
-		camp, err := attack.RunOptimized(dc.Account("attacker"), cfg, sandbox.Gen1)
+		camp, err := launchCampaign(dc, "attacker", cfg, attack.OptimizedStrategy{}, sandbox.Gen1)
 		if err != nil {
 			return 0, err
 		}
-		vicSvc := dc.Account("victim").DeployService("v", faas.ServiceConfig{})
-		var vic []*faas.Instance
-		for l := 0; l < 3; l++ {
-			vic, err = vicSvc.Launch(60)
-			if err != nil {
-				return 0, err
-			}
-			if l < 2 {
-				vicSvc.Disconnect()
-				dc.Scheduler().Advance(45 * time.Minute)
-			}
+		_, vic, err := coldVictim(dc, "victim", "v", faas.ServiceConfig{}, 60, 3)
+		if err != nil {
+			return 0, err
 		}
-		tester := covert.NewTester(dc.Scheduler(), covert.DefaultConfig())
-		cov, err := attack.MeasureCoverage(tester, camp.Live, vic, cfg.Precision)
+		cov, _, err := camp.Verify(vic)
 		if err != nil {
 			return 0, err
 		}

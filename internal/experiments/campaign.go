@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"time"
+
+	"eaao/internal/core/attack"
+	"eaao/internal/faas"
+	"eaao/internal/sandbox"
+)
+
+// launchCampaign builds a campaign for the named account on the region and
+// runs its launch stage. The returned campaign carries the footprint, the
+// cost ledger, and an instrumented covert tester for verification — the
+// attacker/tester wiring every coverage experiment used to assemble by hand.
+func launchCampaign(dc *faas.DataCenter, account string, cfg attack.Config,
+	strategy attack.LaunchStrategy, gen sandbox.Gen) (*attack.Campaign, error) {
+	camp, err := attack.NewCampaign(dc.Account(account), cfg, gen, strategy)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := camp.Launch(); err != nil {
+		return nil, err
+	}
+	return camp, nil
+}
+
+// attackerCampaign is launchCampaign at this context's standard campaign
+// scale (attackCfg), the setup shared by fig11, fig12, and the extension
+// experiments.
+func (c Context) attackerCampaign(dc *faas.DataCenter, account string,
+	strategy attack.LaunchStrategy, gen sandbox.Gen) (*attack.Campaign, error) {
+	return launchCampaign(dc, account, c.attackCfg(), strategy, gen)
+}
+
+// coldVictim deploys a victim service and launches it launches times with
+// 45-minute disconnected gaps in between, so the final set — the one
+// returned — is measured in placement steady state rather than dominated by
+// the unavoidable first cold launch.
+func coldVictim(dc *faas.DataCenter, account, service string, cfg faas.ServiceConfig,
+	n, launches int) (*faas.Service, []*faas.Instance, error) {
+	svc := dc.Account(account).DeployService(service, cfg)
+	var vic []*faas.Instance
+	var err error
+	for l := 0; l < launches; l++ {
+		vic, err = svc.Launch(n)
+		if err != nil {
+			return nil, nil, err
+		}
+		if l < launches-1 {
+			svc.Disconnect()
+			dc.Scheduler().Advance(45 * time.Minute)
+		}
+	}
+	return svc, vic, nil
+}

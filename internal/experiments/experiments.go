@@ -137,6 +137,7 @@ func init() {
 		// policyablation is appended after every seed-era artifact so the
 		// frozen golden-digest id list keeps matching the registry prefix.
 		{ID: "policyablation", Title: "Attack outcome under swappable placement policies", PaperRef: "§5.2 + §6, DESIGN.md §2", Run: runPolicyAblation},
+		{ID: "strategyablation", Title: "Coverage vs cost under swappable launch strategies", PaperRef: "§5.2, DESIGN.md attack layer", Run: runStrategyAblation},
 	}
 }
 

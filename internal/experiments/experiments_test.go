@@ -25,7 +25,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"fig11a", "fig11b", "fig12", "table1", "freq", "verifycost", "gen2",
 		"naive", "cost", "gen2cov", "mitigation", "extraction", "reattack", "ablations",
-		"policyablation"}
+		"policyablation", "strategyablation"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
@@ -452,5 +452,31 @@ func TestPolicyAblationExperiment(t *testing.T) {
 		if res.Metrics["verify_tests_"+key] <= 0 {
 			t.Errorf("verify_tests_%s missing", key)
 		}
+	}
+}
+
+func TestStrategyAblationExperiment(t *testing.T) {
+	res := run(t, "strategyablation")
+	for _, name := range []string{"naive", "optimized", "adaptive"} {
+		for _, key := range []string{"coverage_", "usd_", "waves_", "footprint_", "ctests_"} {
+			if _, ok := res.Metrics[key+name]; !ok {
+				t.Errorf("metric %s%s missing", key, name)
+			}
+		}
+	}
+	// The acceptance property of the ablation: adaptive spends no more than
+	// optimized while covering strictly more victims than naive.
+	if ad, opt := res.Metrics["usd_adaptive"], res.Metrics["usd_optimized"]; ad > opt {
+		t.Errorf("adaptive cost $%v above optimized $%v", ad, opt)
+	}
+	if ad, nv := res.Metrics["coverage_adaptive"], res.Metrics["coverage_naive"]; ad <= nv {
+		t.Errorf("adaptive coverage %v not above naive %v", ad, nv)
+	}
+	if res.Metrics["waves_adaptive"] >= res.Metrics["waves_optimized"] {
+		t.Errorf("adaptive did not save launch waves: %v vs %v",
+			res.Metrics["waves_adaptive"], res.Metrics["waves_optimized"])
+	}
+	if res.Metrics["usd_naive"] >= res.Metrics["usd_optimized"] {
+		t.Error("naive cost not below optimized")
 	}
 }

@@ -141,31 +141,21 @@ func runMitigation(ctx Context) (*Result, error) {
 		profs := ctx.profiles()
 		if defended {
 			for i := range profs {
-				profs[i].RandomPlacement = true
+				profs[i].Policy = faas.RandomUniformPolicy{}
 			}
 		}
 		pl := faas.MustPlatform(ctx.Seed+77, profs...)
 		dc := pl.MustRegion(faas.USEast1)
-		camp, err := attack.RunOptimized(dc.Account("account-1"), ctx.attackCfg(), sandbox.Gen1)
+		camp, err := ctx.attackerCampaign(dc, "account-1", attack.OptimizedStrategy{}, sandbox.Gen1)
 		if err != nil {
 			return schedRow{}, err
 		}
-		vicSvc := dc.Account("account-2").DeployService("victim", faas.ServiceConfig{})
-		// A few victim launches so the locality cost is measured in steady
-		// state, not dominated by the unavoidable first launch.
-		var vic []*faas.Instance
-		for l := 0; l < 3; l++ {
-			vic, err = vicSvc.Launch(ctx.defaultVictims())
-			if err != nil {
-				return schedRow{}, err
-			}
-			if l < 2 {
-				vicSvc.Disconnect()
-				dc.Scheduler().Advance(45 * time.Minute)
-			}
+		vicSvc, vic, err := coldVictim(dc, "account-2", "victim", faas.ServiceConfig{},
+			ctx.defaultVictims(), 3)
+		if err != nil {
+			return schedRow{}, err
 		}
-		tester := covert.NewTester(dc.Scheduler(), covert.DefaultConfig())
-		cov, err := attack.MeasureCoverage(tester, camp.Live, vic, fingerprint.DefaultPrecision)
+		cov, _, err := camp.Verify(vic)
 		if err != nil {
 			return schedRow{}, err
 		}
@@ -224,7 +214,7 @@ func runExtraction(ctx Context) (*Result, error) {
 	pl := ctx.platform()
 	dc := pl.MustRegion(faas.USEast1)
 
-	camp, err := attack.RunOptimized(dc.Account("account-1"), ctx.attackCfg(), sandbox.Gen1)
+	camp, err := ctx.attackerCampaign(dc, "account-1", attack.OptimizedStrategy{}, sandbox.Gen1)
 	if err != nil {
 		return nil, err
 	}
@@ -232,8 +222,7 @@ func runExtraction(ctx Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	tester := covert.NewTester(dc.Scheduler(), covert.DefaultConfig())
-	cov, spies, err := attack.MeasureCoverageDetail(tester, camp.Live, vic, fingerprint.DefaultPrecision)
+	cov, spies, err := camp.Verify(vic)
 	if err != nil {
 		return nil, err
 	}
@@ -270,7 +259,7 @@ func runExtraction(ctx Context) (*Result, error) {
 			break
 		}
 	}
-	for _, a := range camp.Live {
+	for _, a := range camp.Result().Live {
 		if id, _ := a.HostID(); id != spyHost {
 			remote = a
 			break
@@ -314,7 +303,7 @@ func runReattack(ctx Context) (*Result, error) {
 	dc := pl.MustRegion(faas.USEast1)
 
 	// First attack: full campaign, coverage, record victim hosts.
-	camp, err := attack.RunOptimized(dc.Account("account-1"), ctx.attackCfg(), sandbox.Gen1)
+	camp, err := ctx.attackerCampaign(dc, "account-1", attack.OptimizedStrategy{}, sandbox.Gen1)
 	if err != nil {
 		return nil, err
 	}
@@ -323,8 +312,7 @@ func runReattack(ctx Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	tester := covert.NewTester(dc.Scheduler(), covert.DefaultConfig())
-	cov1, spies, err := attack.MeasureCoverageDetail(tester, camp.Live, vic, fingerprint.DefaultPrecision)
+	cov1, spies, err := camp.Verify(vic)
 	if err != nil {
 		return nil, err
 	}
@@ -337,7 +325,7 @@ func runReattack(ctx Context) (*Result, error) {
 	// against the same victim and focuses monitoring on recorded hosts.
 	vicSvc.Disconnect()
 	dc.Scheduler().Advance(24 * time.Hour)
-	camp2, err := attack.RunOptimized(dc.Account("account-1"), ctx.attackCfg(), sandbox.Gen1)
+	camp2, err := ctx.attackerCampaign(dc, "account-1", attack.OptimizedStrategy{}, sandbox.Gen1)
 	if err != nil {
 		return nil, err
 	}
@@ -345,17 +333,17 @@ func runReattack(ctx Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	focused, effort, err := book.Focus(camp2.Live)
+	focused, effort, err := book.Focus(camp2.Result().Live)
 	if err != nil {
 		return nil, err
 	}
-	covFull, err := attack.MeasureCoverage(tester, camp2.Live, vic2, fingerprint.DefaultPrecision)
+	covFull, _, err := camp2.Verify(vic2)
 	if err != nil {
 		return nil, err
 	}
 	covFocused := attack.Coverage{}
 	if len(focused) > 0 {
-		covFocused, err = attack.MeasureCoverage(tester, focused, vic2, fingerprint.DefaultPrecision)
+		covFocused, err = attack.MeasureCoverage(camp2.Tester(), focused, vic2, fingerprint.DefaultPrecision)
 		if err != nil {
 			return nil, err
 		}
@@ -363,8 +351,8 @@ func runReattack(ctx Context) (*Result, error) {
 
 	tbl := report.NewTable("Re-attack with fingerprint-guided targeting",
 		"phase", "attacker instances", "victim coverage")
-	tbl.AddRow("first attack (full footprint)", len(camp.Live), cov1.Fraction())
-	tbl.AddRow("re-attack, full footprint", len(camp2.Live), covFull.Fraction())
+	tbl.AddRow("first attack (full footprint)", len(camp.Result().Live), cov1.Fraction())
+	tbl.AddRow("re-attack, full footprint", len(camp2.Result().Live), covFull.Fraction())
 	tbl.AddRow("re-attack, focused on recorded hosts", len(focused), covFocused.Fraction())
 	res.Tables = append(res.Tables, tbl)
 	res.Metrics["first_coverage"] = cov1.Fraction()

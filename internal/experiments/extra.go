@@ -254,19 +254,18 @@ func runNaive(ctx Context) (*Result, error) {
 		prof := profiles[t.Index]
 		pl := faas.MustPlatform(t.Seed, prof)
 		dc := pl.MustRegion(prof.Name)
-		camp, err := attack.RunNaive(dc.Account(attacker), ctx.attackCfg(), sandbox.Gen1)
+		camp, err := ctx.attackerCampaign(dc, attacker, attack.NaiveStrategy{}, sandbox.Gen1)
 		if err != nil {
 			return naiveRun{}, err
 		}
-		tester := covert.NewTester(dc.Scheduler(), covert.DefaultConfig())
-		run := naiveRun{footprint: camp.Footprint.Cumulative()}
+		run := naiveRun{footprint: camp.Stats().ApparentHosts}
 		for _, vicAcct := range victims {
 			svc := dc.Account(vicAcct).DeployService("victim", faas.ServiceConfig{})
 			vicInsts, err := svc.Launch(ctx.defaultVictims())
 			if err != nil {
 				return naiveRun{}, err
 			}
-			cov, err := attack.MeasureCoverage(tester, camp.Live, vicInsts, fingerprint.DefaultPrecision)
+			cov, _, err := camp.Verify(vicInsts)
 			if err != nil {
 				return naiveRun{}, err
 			}

@@ -4,10 +4,7 @@ import (
 	"fmt"
 
 	"eaao/internal/core/attack"
-	"eaao/internal/core/covert"
-	"eaao/internal/core/fingerprint"
 	"eaao/internal/faas"
-	"eaao/internal/pricing"
 	"eaao/internal/report"
 	"eaao/internal/sandbox"
 	"eaao/internal/stats"
@@ -65,11 +62,10 @@ func runCoverageStudy(ctx Context, gen sandbox.Gen, configs []victimConfig, defa
 		rep := t.Index / len(profiles)
 		pl := faas.MustPlatform(t.Seed, prof)
 		dc := pl.MustRegion(prof.Name)
-		camp, err := attack.RunOptimized(dc.Account("account-1"), ctx.attackCfg(), gen)
+		camp, err := ctx.attackerCampaign(dc, "account-1", attack.OptimizedStrategy{}, gen)
 		if err != nil {
 			return covTrial{}, err
 		}
-		tester := covert.NewTester(dc.Scheduler(), covert.DefaultConfig())
 		out := covTrial{defaultOK: true}
 		for _, vicAcct := range victims {
 			fr := make([]float64, len(configs))
@@ -81,8 +77,7 @@ func runCoverageStudy(ctx Context, gen sandbox.Gen, configs []victimConfig, defa
 				if err != nil {
 					return covTrial{}, err
 				}
-				cov, err := attack.MeasureCoverage(tester, camp.Live, vicInsts,
-					fingerprint.DefaultPrecision)
+				cov, _, err := camp.Verify(vicInsts)
 				if err != nil {
 					return covTrial{}, err
 				}
@@ -254,20 +249,19 @@ func runAttackCost(ctx Context) (*Result, error) {
 	profiles := ctx.profiles()
 
 	// One trial per region: each campaign is billed against its own world.
+	// The campaign's ledger meters the launch stage (billing deltas priced at
+	// the published rates), so the trial just reads it back.
 	type bill struct{ vcpuS, gbS, usd float64 }
 	bills, err := runTrials(ctx, len(profiles), func(t Trial) (bill, error) {
 		prof := profiles[t.Index]
 		pl := faas.MustPlatform(t.Seed, prof)
-		acct := pl.MustRegion(prof.Name).Account("account-1")
-		acct.ResetBill()
-		if _, err := attack.RunOptimized(acct, ctx.attackCfg(), sandbox.Gen1); err != nil {
+		dc := pl.MustRegion(prof.Name)
+		camp, err := ctx.attackerCampaign(dc, "account-1", attack.OptimizedStrategy{}, sandbox.Gen1)
+		if err != nil {
 			return bill{}, err
 		}
-		// Let the final launch idle out so no further cost accrues, then
-		// price the bill.
-		b := acct.Bill()
-		return bill{b.VCPUSeconds, b.GBSeconds,
-			pricing.CloudRunRates().Cost(b.VCPUSeconds, b.GBSeconds)}, nil
+		st := camp.Stats()
+		return bill{st.VCPUSeconds, st.GBSeconds, st.USD}, nil
 	})
 	if err != nil {
 		return nil, err

@@ -36,7 +36,7 @@ func runFig12(ctx Context) (*Result, error) {
 		// First, the attacker's own footprint with the standard optimized
 		// campaign (six services): the paper reports the share of the
 		// discovered fleet the attacker occupies.
-		camp, err := attack.RunOptimized(dc.Account(attacker), ctx.attackCfg(), sandbox.Gen1)
+		camp, err := ctx.attackerCampaign(dc, attacker, attack.OptimizedStrategy{}, sandbox.Gen1)
 		if err != nil {
 			return scaleRun{}, err
 		}
@@ -49,7 +49,7 @@ func runFig12(ctx Context) (*Result, error) {
 		if err != nil {
 			return scaleRun{}, err
 		}
-		return scaleRun{camp.Footprint.Cumulative(), dc.TrueHostCount(), est}, nil
+		return scaleRun{camp.Result().Footprint.Cumulative(), dc.TrueHostCount(), est}, nil
 	})
 	if err != nil {
 		return nil, err

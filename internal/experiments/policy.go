@@ -2,10 +2,8 @@ package experiments
 
 import (
 	"strings"
-	"time"
 
 	"eaao/internal/core/attack"
-	"eaao/internal/core/covert"
 	"eaao/internal/faas"
 	"eaao/internal/report"
 	"eaao/internal/sandbox"
@@ -52,26 +50,17 @@ func runPolicyAblation(ctx Context) (*Result, error) {
 		cfg.Services = 2
 		cfg.InstancesPerLaunch = n
 		cfg.Launches = 4
-		camp, err := attack.RunOptimized(dc.Account("attacker"), cfg, sandbox.Gen1)
+		camp, err := launchCampaign(dc, "attacker", cfg, attack.OptimizedStrategy{}, sandbox.Gen1)
 		if err != nil {
 			return row{}, err
 		}
 
-		vicSvc := dc.Account("victim").DeployService("v", faas.ServiceConfig{})
-		var vic []*faas.Instance
-		for l := 0; l < 3; l++ {
-			vic, err = vicSvc.Launch(60)
-			if err != nil {
-				return row{}, err
-			}
-			if l < 2 {
-				vicSvc.Disconnect()
-				dc.Scheduler().Advance(45 * time.Minute)
-			}
+		vicSvc, vic, err := coldVictim(dc, "victim", "v", faas.ServiceConfig{}, 60, 3)
+		if err != nil {
+			return row{}, err
 		}
 
-		tester := covert.NewTester(dc.Scheduler(), covert.DefaultConfig())
-		cov, err := attack.MeasureCoverage(tester, camp.Live, vic, cfg.Precision)
+		cov, _, err := camp.Verify(vic)
 		if err != nil {
 			return row{}, err
 		}
@@ -88,7 +77,7 @@ func runPolicyAblation(ctx Context) (*Result, error) {
 			meanHosts = float64(hostSum) / float64(batches)
 		}
 		return row{
-			footprint:   camp.Footprint.Cumulative(),
+			footprint:   camp.Stats().ApparentHosts,
 			cov:         cov,
 			coldFrac:    vicSvc.ColdHostFraction(),
 			traceBatch:  batches,

@@ -96,6 +96,11 @@ func (p *Platform) MustRegion(r Region) *DataCenter {
 // Regions lists the configured regions in creation order.
 func (p *Platform) Regions() []Region { return append([]Region(nil), p.order...) }
 
+// Seed returns the world seed the platform was built from. Observers use it
+// to derive their own randomness streams (via randx.Derive labels disjoint
+// from the platform's) without touching platform state.
+func (p *Platform) Seed() uint64 { return p.rng.Seed() }
+
 // DataCenter is one simulated region.
 type DataCenter struct {
 	platform *Platform
@@ -110,9 +115,11 @@ type DataCenter struct {
 	// profile at construction; all placement decisions flow through it.
 	policy PlacementPolicy
 	// tracer, when installed, receives every placement decision; traceSeq
-	// numbers the events.
-	tracer   PlacementTracer
-	traceSeq uint64
+	// numbers the events. deprecationWarned latches the one-shot
+	// TraceDeprecated event for profiles built from deprecated knobs.
+	tracer            PlacementTracer
+	traceSeq          uint64
+	deprecationWarned bool
 }
 
 func newDataCenter(p *Platform, prof RegionProfile) *DataCenter {
@@ -137,6 +144,9 @@ func (dc *DataCenter) Profile() RegionProfile { return dc.profile }
 
 // Policy returns the region's resolved placement policy.
 func (dc *DataCenter) Policy() PlacementPolicy { return dc.policy }
+
+// Platform returns the platform the data center belongs to.
+func (dc *DataCenter) Platform() *Platform { return dc.platform }
 
 // Scheduler returns the platform's virtual clock.
 func (dc *DataCenter) Scheduler() *simtime.Scheduler { return dc.platform.sched }

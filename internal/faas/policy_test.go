@@ -381,3 +381,45 @@ func TestTracerDoesNotPerturbPlacement(t *testing.T) {
 		t.Error("installing a tracer changed placement")
 	}
 }
+
+// A region configured through the deprecated RandomPlacement bool emits one
+// TraceDeprecated event to the first tracer installed — once per region, not
+// once per tracer, and never for regions configured through Policy.
+func TestDeprecatedRandomPlacementWarnsOnce(t *testing.T) {
+	countDeprecated := func(ring *TraceRing) int {
+		n := 0
+		for _, ev := range ring.Events() {
+			if ev.Kind == TraceDeprecated {
+				n++
+			}
+		}
+		return n
+	}
+
+	p := testProfile()
+	p.RandomPlacement = true
+	dc := MustPlatform(1, p).MustRegion(p.Name)
+	ring := NewTraceRing(8)
+	dc.SetPlacementTracer(ring)
+	if got := countDeprecated(ring); got != 1 {
+		t.Fatalf("first tracer saw %d deprecation events, want 1", got)
+	}
+
+	// Swapping tracers must not repeat the warning.
+	ring2 := NewTraceRing(8)
+	dc.SetPlacementTracer(ring2)
+	if got := countDeprecated(ring2); got != 0 {
+		t.Errorf("second tracer saw %d deprecation events, want 0", got)
+	}
+	dc.SetPlacementTracer(nil)
+
+	// A region using the replacement Policy field stays silent.
+	clean := testProfile()
+	clean.Policy = RandomUniformPolicy{}
+	dc2 := MustPlatform(1, clean).MustRegion(clean.Name)
+	ring3 := NewTraceRing(8)
+	dc2.SetPlacementTracer(ring3)
+	if got := countDeprecated(ring3); got != 0 {
+		t.Errorf("Policy-configured region warned %d times", got)
+	}
+}

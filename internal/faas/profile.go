@@ -154,6 +154,11 @@ type RegionProfile struct {
 	// CloudRunPolicy (or RandomUniformPolicy when the deprecated
 	// RandomPlacement bool is set).
 	Policy PlacementPolicy
+
+	// legacyRandomPlacement remembers that normalize folded the deprecated
+	// RandomPlacement bool into Policy, so the trace hook can emit a one-shot
+	// deprecation event (TraceDeprecated) when a tracer attaches.
+	legacyRandomPlacement bool
 }
 
 // normalize folds deprecated knobs into their modern equivalents before the
@@ -163,6 +168,7 @@ type RegionProfile struct {
 func (p *RegionProfile) normalize() {
 	if p.Policy == nil && p.RandomPlacement {
 		p.Policy = RandomUniformPolicy{}
+		p.legacyRandomPlacement = true
 	}
 }
 

@@ -224,7 +224,7 @@ func TestProbeContention(t *testing.T) {
 
 func TestRandomPlacementDefense(t *testing.T) {
 	p := testProfile()
-	p.RandomPlacement = true
+	p.Policy = RandomUniformPolicy{}
 	pl := MustPlatform(60, p)
 	dc := pl.MustRegion("test-region")
 

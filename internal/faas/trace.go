@@ -14,6 +14,11 @@ const (
 	TraceDemandDecay
 	// TraceIdleTerm is the reaper terminating an idle instance.
 	TraceIdleTerm
+	// TraceDeprecated is a one-shot warning that the region was configured
+	// through a deprecated knob (RandomPlacement) that normalize() folded
+	// into its modern equivalent. Emitted once per region, the first time a
+	// tracer is attached.
+	TraceDeprecated
 )
 
 // String names the event kind.
@@ -27,6 +32,8 @@ func (k PlacementEventKind) String() string {
 		return "demand-decay"
 	case TraceIdleTerm:
 		return "idle-term"
+	case TraceDeprecated:
+		return "deprecated"
 	default:
 		return "event?"
 	}
@@ -115,8 +122,15 @@ func (r *TraceRing) Dropped() uint64 { return r.dropped }
 
 // SetPlacementTracer installs (or, with nil, removes) the region's placement
 // tracer. The zero state is no tracer: recording costs nothing unless one is
-// installed.
-func (dc *DataCenter) SetPlacementTracer(t PlacementTracer) { dc.tracer = t }
+// installed. Regions configured through the deprecated RandomPlacement bool
+// warn once, as a TraceDeprecated event, the first time a tracer attaches.
+func (dc *DataCenter) SetPlacementTracer(t PlacementTracer) {
+	dc.tracer = t
+	if t != nil && dc.profile.legacyRandomPlacement && !dc.deprecationWarned {
+		dc.deprecationWarned = true
+		dc.trace(PlacementEvent{Kind: TraceDeprecated})
+	}
+}
 
 // trace stamps and records one event if a tracer is installed.
 func (dc *DataCenter) trace(ev PlacementEvent) {
