@@ -2,11 +2,16 @@ GO ?= go
 
 .PHONY: check lint race bench bench-json bench-diff run-all
 
-# Tier-1 gate: lint (gofmt + vet), build, test, and a smoke run of the
-# benchmark record tooling against the checked-in fixture.
+# Tier-1 gate: lint (gofmt + vet), build, test, a race pass over the fault
+# plane and its attack-side recovery paths, a quick fault-sweep smoke run,
+# and a smoke run of the benchmark record tooling against the checked-in
+# fixture.
 check: lint
 	$(GO) build ./...
 	$(GO) test ./...
+	$(GO) test -race ./internal/core/... ./internal/faas/...
+	@$(GO) run ./cmd/eaao -quick run faultsweep >/dev/null
+	@echo "faultsweep smoke OK"
 	@$(GO) run ./internal/tools/benchjson -label smoke \
 		-in internal/tools/benchfmt/testdata/sample_bench.txt -out /tmp/BENCH_smoke.json
 	@$(GO) run ./internal/tools/benchdiff /tmp/BENCH_smoke.json /tmp/BENCH_smoke.json >/dev/null

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -12,7 +13,7 @@ import (
 // runAttack implements `eaao attack`: a parameterized attacker-vs-victim
 // campaign on a fresh simulated platform, printing the coverage report and
 // campaign cost. It is the CLI face of examples/colocation-attack.
-func runAttack(args []string, seed uint64, quick bool, policy eaao.PlacementPolicy) error {
+func runAttack(args []string, seed uint64, quick bool, policy eaao.PlacementPolicy, faults eaao.FaultPlan) error {
 	fs := flag.NewFlagSet("attack", flag.ExitOnError)
 	region := fs.String("region", string(eaao.USEast1), "target region (us-east1, us-central1, us-west1)")
 	services := fs.Int("services", 6, "attacker services")
@@ -22,6 +23,9 @@ func runAttack(args []string, seed uint64, quick bool, policy eaao.PlacementPoli
 	victims := fs.Int("victims", 100, "victim instances")
 	strategy := fs.String("strategy", "optimized", "naive, optimized, or adaptive")
 	gen2 := fs.Bool("gen2", false, "use the Gen 2 (VM) environment on both sides")
+	retries := fs.Int("retries", 0, "launch retries on injected faults (exponential backoff from 30s)")
+	voteBudget := fs.Int("votebudget", 0, "majority-vote CTest repetitions (0/1 = single shot)")
+	probeBudget := fs.Int("probebudget", 0, "fingerprint probe retries before skipping an instance")
 	fs.SetOutput(os.Stderr)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -48,6 +52,11 @@ func runAttack(args []string, seed uint64, quick bool, policy eaao.PlacementPoli
 			profiles[i].Policy = policy
 		}
 	}
+	if faults.Enabled() {
+		for i := range profiles {
+			profiles[i].Faults = faults
+		}
+	}
 	pl := eaao.NewPlatform(seed, profiles...)
 	dc, err := pl.Region(eaao.Region(*region))
 	if err != nil {
@@ -58,8 +67,14 @@ func runAttack(args []string, seed uint64, quick bool, policy eaao.PlacementPoli
 	if *gen2 {
 		gen = eaao.Gen2
 	}
-	vic, err := dc.Account("victim").DeployService("victim-svc",
-		eaao.ServiceConfig{Gen: gen}).Launch(*victims)
+	// The victim tenant's deploy tooling retries transient faults like any
+	// production pipeline; the attacker-side budgets are the flags above.
+	vicSvc := dc.Account("victim").DeployService("victim-svc", eaao.ServiceConfig{Gen: gen})
+	vic, err := vicSvc.Launch(*victims)
+	for tries := 0; err != nil && errors.Is(err, eaao.ErrLaunchFault) && tries < 8; tries++ {
+		dc.Scheduler().Advance(15 * time.Second)
+		vic, err = vicSvc.Launch(*victims)
+	}
 	if err != nil {
 		return err
 	}
@@ -69,6 +84,10 @@ func runAttack(args []string, seed uint64, quick bool, policy eaao.PlacementPoli
 	cfg.InstancesPerLaunch = *perLaunch
 	cfg.Launches = *launches
 	cfg.Interval = *interval
+	cfg.LaunchRetries = *retries
+	cfg.RetryBackoff = 30 * time.Second
+	cfg.VoteBudget = *voteBudget
+	cfg.ProbeRetryBudget = *probeBudget
 
 	strat, err := eaao.AttackStrategyByName(*strategy)
 	if err != nil {
@@ -97,6 +116,12 @@ func runAttack(args []string, seed uint64, quick bool, policy eaao.PlacementPoli
 	fmt.Printf("victim coverage:   %s\n", cov)
 	fmt.Printf("co-located spies:  %d\n", len(spies))
 	fmt.Println(st.String())
+	if faults.Enabled() {
+		fc := dc.FaultCounters()
+		fmt.Printf("injected faults:   %d launch rejections, %d aborts (%d instances rolled back), %d preemptions, %d channel misfires, %d probe faults\n",
+			fc.LaunchRejections, fc.LaunchAborts, fc.InstancesRolledBack,
+			fc.Preemptions, fc.ChannelMisfires, fc.ProbeFaults)
+	}
 	fmt.Printf("(simulated in %v)\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }

@@ -13,6 +13,7 @@
 //	-jobs N    worker-pool width for trial repetitions (default NumCPU; 1 = sequential)
 //	-parallel  run whole experiments concurrently through the same bounded pool
 //	-policy P  override every region's placement policy (cloudrun, random-uniform, least-loaded)
+//	-faults L  inject deterministic faults at uniform level L in [0,1] (0 = fault-free)
 //	-csv       also print each table as CSV
 //	-cpuprofile F  write a CPU profile of the run to F (runtime/pprof)
 //	-memprofile F  write an allocation profile at exit to F
@@ -45,6 +46,7 @@ func run() int {
 	parallel := flag.Bool("parallel", false, "run experiments concurrently (each owns its own simulated world)")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "max concurrent trial workers (1 = fully sequential)")
 	policyName := flag.String("policy", "", "override the placement policy in every region (cloudrun, random-uniform, least-loaded)")
+	faultLevel := flag.Float64("faults", 0, "uniform injected fault level in [0,1] (0 = fault-free; scales launch, preemption, channel and probe fault rates together)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Usage = usage
@@ -85,6 +87,12 @@ func run() int {
 		}
 	}
 
+	faults := eaao.UniformFaultPlan(*faultLevel)
+	if err := faults.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "eaao: %v\n", err)
+		return 2
+	}
+
 	if len(args) == 0 {
 		usage()
 		return 2
@@ -92,7 +100,7 @@ func run() int {
 
 	switch args[0] {
 	case "attack":
-		if err := runAttack(args[1:], *seed, *quick, policy); err != nil {
+		if err := runAttack(args[1:], *seed, *quick, policy, faults); err != nil {
 			fmt.Fprintf(os.Stderr, "eaao attack: %v\n", err)
 			return 1
 		}
@@ -112,7 +120,7 @@ func run() int {
 				ids = append(ids, d.ID)
 			}
 		}
-		ctx := eaao.ExperimentContext{Seed: *seed, Quick: *quick, Jobs: *jobs, Policy: policy}
+		ctx := eaao.ExperimentContext{Seed: *seed, Quick: *quick, Jobs: *jobs, Policy: policy, Faults: faults}
 
 		// Each experiment builds its own deterministic world, so runs are
 		// independent and can proceed concurrently; results print in the

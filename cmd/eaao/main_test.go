@@ -93,18 +93,18 @@ func TestRunAttackSmoke(t *testing.T) {
 		"-launches", "3",
 		"-victims", "30",
 	}
-	if err := runAttack(args, 42, true, nil); err != nil {
+	if err := runAttack(args, 42, true, nil, eaao.FaultPlan{}); err != nil {
 		t.Fatal(err)
 	}
 	// A policy override flows through to the platform build.
-	if err := runAttack(args, 42, true, eaao.RandomUniformPolicy{}); err != nil {
+	if err := runAttack(args, 42, true, eaao.RandomUniformPolicy{}, eaao.FaultPlan{}); err != nil {
 		t.Fatal(err)
 	}
 	// Unknown strategy and region errors surface.
-	if err := runAttack([]string{"-strategy", "bogus"}, 42, true, nil); err == nil {
+	if err := runAttack([]string{"-strategy", "bogus"}, 42, true, nil, eaao.FaultPlan{}); err == nil {
 		t.Error("bogus strategy accepted")
 	}
-	if err := runAttack([]string{"-region", "mars"}, 42, true, nil); err == nil {
+	if err := runAttack([]string{"-region", "mars"}, 42, true, nil, eaao.FaultPlan{}); err == nil {
 		t.Error("bogus region accepted")
 	}
 }

@@ -101,6 +101,23 @@ type (
 	TraceRing = faas.TraceRing
 )
 
+// Fault-plane types (deterministic injected failures; zero values disable).
+type (
+	// FaultPlan is a region's seeded fault-injection configuration.
+	FaultPlan = faas.FaultPlan
+	// FaultCounters tallies the faults a data center actually injected.
+	FaultCounters = faas.FaultCounters
+)
+
+// ErrLaunchFault marks transient injected launch failures (retryable).
+var ErrLaunchFault = faas.ErrLaunchFault
+
+// ErrProbeFault marks injected fingerprint-probe failures.
+var ErrProbeFault = sandbox.ErrProbeFault
+
+// UniformFaultPlan derives every fault rate from one severity level.
+func UniformFaultPlan(level float64) FaultPlan { return faas.UniformFaultPlan(level) }
+
 // Fingerprinting and verification types (the paper's core contribution).
 type (
 	// Sample is one raw Gen 1 measurement (model, TSC, wall time).
@@ -157,6 +174,10 @@ type (
 	AdaptiveStrategy = attack.AdaptiveStrategy
 	// Coverage is an attacker-vs-victim co-location measurement.
 	Coverage = attack.Coverage
+	// CoverageOpts tunes a coverage measurement (fault-recovery budgets).
+	CoverageOpts = attack.CoverageOpts
+	// CoverageFaults meters probe-fault recovery during a measurement.
+	CoverageFaults = attack.CoverageFaults
 	// FootprintTracker accumulates apparent hosts across launches.
 	FootprintTracker = attack.FootprintTracker
 	// ScaleEstimate is a data-center size estimation (Fig. 12).

@@ -26,11 +26,13 @@
 package attack
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"eaao/internal/core/fingerprint"
 	"eaao/internal/faas"
+	"eaao/internal/sandbox"
 	"eaao/internal/simtime"
 )
 
@@ -51,6 +53,27 @@ type Config struct {
 	HoldActive time.Duration
 	// Precision is the Gen 1 fingerprint rounding precision.
 	Precision time.Duration
+
+	// Fault-recovery budgets. All default to zero, which reproduces the
+	// unhardened campaign: the first injected fault aborts or degrades the
+	// run. Campaigns on a platform with a faas.FaultPlan set these to
+	// self-heal (see the faultsweep experiment).
+
+	// LaunchRetries is how many times a launch wave rejected with
+	// faas.ErrLaunchFault is re-issued before the campaign gives up.
+	LaunchRetries int
+	// RetryBackoff is the wait before the first launch retry; it doubles on
+	// every subsequent attempt of the same wave. The resident footprint
+	// stays connected (and billing) through the wait — the fault ledger
+	// attributes that spend.
+	RetryBackoff time.Duration
+	// VoteBudget is the covert.Config majority-vote repetition count used by
+	// the campaign's default tester; 0 or 1 is the single-shot test.
+	VoteBudget int
+	// ProbeRetryBudget is how many times a fingerprint collection that hit a
+	// probe fault is retried before the instance is skipped for the batch.
+	// At 0 a probe fault propagates as an error instead.
+	ProbeRetryBudget int
 }
 
 // DefaultConfig returns the paper's optimized-strategy parameters.
@@ -74,10 +97,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("attack: InstancesPerLaunch must be positive")
 	case c.Launches <= 0:
 		return fmt.Errorf("attack: Launches must be positive")
-	case c.Interval < 0 || c.HoldActive < 0:
+	case c.Interval < 0 || c.HoldActive < 0 || c.RetryBackoff < 0:
 		return fmt.Errorf("attack: negative durations")
 	case c.Precision <= 0:
 		return fmt.Errorf("attack: Precision must be positive")
+	case c.LaunchRetries < 0 || c.VoteBudget < 0 || c.ProbeRetryBudget < 0:
+		return fmt.Errorf("attack: negative fault-recovery budgets")
 	}
 	return nil
 }
@@ -90,6 +115,12 @@ type FootprintTracker struct {
 	// batch is per-Record scratch, reused so the per-wave hot path settles
 	// to zero steady-state allocations (see TestRecordWaveAllocs).
 	batch map[fingerprint.Gen1]bool
+	// retryBudget is how many times a probe-faulted collection is retried
+	// per instance before the sample is skipped; retries and skips meter
+	// that recovery. At budget 0 a probe fault propagates as an error.
+	retryBudget int
+	retries     int
+	skips       int
 }
 
 // NewFootprintTracker builds a tracker at the given precision.
@@ -99,6 +130,19 @@ func NewFootprintTracker(precision time.Duration) *FootprintTracker {
 		seen:      make(map[fingerprint.Gen1]bool),
 	}
 }
+
+// SetProbeRetryBudget configures probe-fault recovery: a collection that
+// fails with sandbox.ErrProbeFault is retried up to budget times, then the
+// instance is skipped for the batch. With budget 0 (the default) the first
+// probe fault propagates as a Record error — the unhardened behavior.
+func (ft *FootprintTracker) SetProbeRetryBudget(budget int) { ft.retryBudget = budget }
+
+// ProbeRetries returns how many faulted collections were re-issued.
+func (ft *FootprintTracker) ProbeRetries() int { return ft.retries }
+
+// ProbeSkips returns how many instances were left unfingerprinted after the
+// retry budget ran out.
+func (ft *FootprintTracker) ProbeSkips() int { return ft.skips }
 
 // Record fingerprints the instances and returns the number of apparent hosts
 // in this batch; the tracker's cumulative set grows accordingly.
@@ -113,7 +157,15 @@ func (ft *FootprintTracker) Record(insts []*faas.Instance) (apparent int, err er
 			return 0, err
 		}
 		s, err := fingerprint.CollectGen1(g)
+		for r := 0; err != nil && errors.Is(err, sandbox.ErrProbeFault) && r < ft.retryBudget; r++ {
+			ft.retries++
+			s, err = fingerprint.CollectGen1(g)
+		}
 		if err != nil {
+			if errors.Is(err, sandbox.ErrProbeFault) && ft.retryBudget > 0 {
+				ft.skips++
+				continue
+			}
 			return 0, err
 		}
 		fp := fingerprint.Gen1FromSample(s, ft.precision)
@@ -162,4 +214,3 @@ func serviceNames(prefix string, n int) []string {
 	}
 	return out
 }
-

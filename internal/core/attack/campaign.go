@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -37,6 +38,10 @@ type Campaign struct {
 	res    *CampaignResult
 	stats  CampaignStats
 	tester *covert.Tester
+	// services are the attacker services deployed through the sink, tracked
+	// so retry backoff can attribute the resident footprint's holding cost
+	// to the fault ledger.
+	services []*faas.Service
 }
 
 // NewCampaign validates the configuration and binds a strategy to an
@@ -66,6 +71,7 @@ func (c *Campaign) Launch() (*CampaignResult, error) {
 		return nil, fmt.Errorf("attack: campaign already launched")
 	}
 	c.res = &CampaignResult{Footprint: NewFootprintTracker(c.cfg.Precision)}
+	c.res.Footprint.SetProbeRetryBudget(c.cfg.ProbeRetryBudget)
 	c.stats.Strategy = c.strategy.Name()
 	billStart := c.acct.Bill()
 	startedAt := c.sched.Now()
@@ -81,6 +87,8 @@ func (c *Campaign) Launch() (*CampaignResult, error) {
 	c.stats.LiveInstances = len(c.res.Live)
 	c.stats.ApparentHosts = c.res.Footprint.Cumulative()
 	c.stats.LaunchWall = c.sched.Now().Sub(startedAt)
+	c.stats.ProbeRetries += c.res.Footprint.ProbeRetries()
+	c.stats.ProbeSkips += c.res.Footprint.ProbeSkips()
 	bill := c.acct.Bill()
 	c.stats.VCPUSeconds = bill.VCPUSeconds - billStart.VCPUSeconds
 	c.stats.GBSeconds = bill.GBSeconds - billStart.GBSeconds
@@ -102,7 +110,9 @@ func (c *Campaign) Stats() CampaignStats { return c.stats }
 // cannot perturb determinism.
 func (c *Campaign) Tester() *covert.Tester {
 	if c.tester == nil {
-		c.SetTester(covert.NewTester(c.sched, covert.DefaultConfig()))
+		cfg := covert.DefaultConfig()
+		cfg.VoteBudget = c.cfg.VoteBudget
+		c.SetTester(covert.NewTester(c.sched, cfg))
 	}
 	return c.tester
 }
@@ -126,14 +136,41 @@ func (c *Campaign) Verify(victims []*faas.Instance) (Coverage, []*faas.Instance,
 	if c.res == nil {
 		return Coverage{}, nil, fmt.Errorf("attack: Verify before Launch")
 	}
-	cov, spies, err := MeasureCoverageDetail(c.Tester(), c.res.Live, victims, c.cfg.Precision)
+	cov, spies, err := MeasureCoverageDetailOpts(c.Tester(), c.res.Live, victims, CoverageOpts{
+		Precision:        c.cfg.Precision,
+		ProbeRetryBudget: c.cfg.ProbeRetryBudget,
+	})
 	if err != nil {
 		return Coverage{}, nil, err
 	}
 	c.stats.Verifications++
 	c.stats.VictimInstances += cov.VictimTotal
 	c.stats.VictimsCovered += cov.VictimCovered
+	c.stats.ProbeRetries += cov.Faults.ProbeRetries
+	c.stats.ProbeSkips += cov.Faults.AttackersSkipped + cov.Faults.VictimsSkipped
 	return cov, spies, nil
+}
+
+// retryHold advances the clock for one launch-retry backoff and attributes
+// the resident footprint's holding cost during the wait to the fault ledger.
+// The real dollars flow through the launch-stage bill automatically (the
+// platform's lazy accrual charges connected instances for the extra wall
+// time); FaultVCPUSeconds/FaultUSD single out the share a fault-free run
+// would not have paid.
+func (c *Campaign) retryHold(wait time.Duration) {
+	secs := wait.Seconds()
+	var v, g float64
+	for _, svc := range c.services {
+		n := float64(len(svc.ActiveInstances()))
+		size := svc.Size()
+		v += n * size.VCPU * secs
+		g += n * size.MemoryGB * secs
+	}
+	c.sched.Advance(wait)
+	c.stats.RetryBackoffWall += wait
+	c.stats.FaultVCPUSeconds += v
+	c.stats.FaultGBSeconds += g
+	c.stats.FaultUSD += pricing.CloudRunRates().Cost(v, g)
 }
 
 // campaignSink is the engine's CampaignSink implementation, bound to one
@@ -142,13 +179,25 @@ type campaignSink struct{ c *Campaign }
 
 // Deploy implements CampaignSink.
 func (s campaignSink) Deploy(name string) *faas.Service {
-	return s.c.acct.DeployService(name, faas.ServiceConfig{Gen: s.c.gen})
+	svc := s.c.acct.DeployService(name, faas.ServiceConfig{Gen: s.c.gen})
+	s.c.services = append(s.c.services, svc)
+	return svc
 }
 
-// LaunchWave implements CampaignSink: launch, fingerprint, record.
+// LaunchWave implements CampaignSink: launch, fingerprint, record. Waves
+// rejected with a transient faas.ErrLaunchFault are re-issued up to
+// Config.LaunchRetries times with exponential backoff; any other error (and
+// fault exhaustion) propagates to the strategy.
 func (s campaignSink) LaunchWave(svc *faas.Service, launchID int) (Wave, error) {
 	c := s.c
 	insts, err := svc.Launch(c.cfg.InstancesPerLaunch)
+	for attempt := 0; err != nil && errors.Is(err, faas.ErrLaunchFault) && attempt < c.cfg.LaunchRetries; attempt++ {
+		c.stats.LaunchRetries++
+		if wait := c.cfg.RetryBackoff << attempt; wait > 0 {
+			c.retryHold(wait)
+		}
+		insts, err = svc.Launch(c.cfg.InstancesPerLaunch)
+	}
 	if err != nil {
 		return Wave{}, err
 	}

@@ -1,12 +1,14 @@
 package attack
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"eaao/internal/core/coloc"
 	"eaao/internal/core/fingerprint"
 	"eaao/internal/faas"
+	"eaao/internal/sandbox"
 )
 
 // Coverage is the outcome of a co-location measurement between an attacker
@@ -28,6 +30,33 @@ type Coverage struct {
 	SharedHosts int
 	// Tests is the covert-channel test count the verification consumed.
 	Tests int
+	// Faults is the probe-fault recovery bookkeeping of this measurement;
+	// all-zero on a fault-free platform.
+	Faults CoverageFaults
+}
+
+// CoverageFaults meters probe-fault recovery during one coverage
+// measurement. Skipped victims stay in Coverage.VictimTotal (they exist —
+// the attacker merely failed to measure them) and count as uncovered, which
+// is what makes an unrecovered fault a coverage loss rather than a silent
+// misclassification.
+type CoverageFaults struct {
+	// ProbeRetries counts fingerprint collections re-issued after a fault.
+	ProbeRetries int
+	// AttackersSkipped and VictimsSkipped count instances still faulting
+	// after the retry budget, left out of the verification.
+	AttackersSkipped int
+	VictimsSkipped   int
+}
+
+// CoverageOpts parameterizes MeasureCoverageDetailOpts.
+type CoverageOpts struct {
+	// Precision is the Gen 1 fingerprint rounding precision.
+	Precision time.Duration
+	// ProbeRetryBudget is how many times a probe-faulted fingerprint
+	// collection is retried before the instance is skipped. At 0 (the
+	// unhardened default) the first probe fault propagates as an error.
+	ProbeRetryBudget int
 }
 
 // Fraction returns covered/total, or 0 when no victims were measured.
@@ -63,6 +92,16 @@ func MeasureCoverage(tester coloc.Tester, attacker, victims []*faas.Instance, pr
 // the spies for the extraction step, and the input to a re-attack
 // TargetBook.
 func MeasureCoverageDetail(tester coloc.Tester, attacker, victims []*faas.Instance, precision time.Duration) (Coverage, []*faas.Instance, error) {
+	return MeasureCoverageDetailOpts(tester, attacker, victims, CoverageOpts{Precision: precision})
+}
+
+// MeasureCoverageDetailOpts is MeasureCoverageDetail with fault-recovery
+// options. With a zero ProbeRetryBudget it is the exact historical
+// measurement; with a positive budget, probe-faulted fingerprint collections
+// are retried and persistently faulting instances are skipped instead of
+// failing the whole verification.
+func MeasureCoverageDetailOpts(tester coloc.Tester, attacker, victims []*faas.Instance, opts CoverageOpts) (Coverage, []*faas.Instance, error) {
+	precision := opts.Precision
 	gen2 := false
 	for _, inst := range attacker {
 		g, err := inst.Guest()
@@ -90,10 +129,11 @@ func MeasureCoverageDetail(tester coloc.Tester, attacker, victims []*faas.Instan
 			live = append(live, inst)
 		}
 	}
+	var faults CoverageFaults
 	reps := live
 	if !gen2 {
 		var err error
-		reps, err = dedupeByFingerprint(live, precision)
+		reps, err = dedupeByFingerprint(live, opts, &faults)
 		if err != nil {
 			return Coverage{}, nil, err
 		}
@@ -109,21 +149,42 @@ func MeasureCoverageDetail(tester coloc.Tester, attacker, victims []*faas.Instan
 	}
 	victims = liveVictims
 
+	// Skipped instances drop out of the verification here, so the labels
+	// stay parallel to the probed slices: items[0:attackerCount] belong to
+	// probedReps, the rest to probedVictims.
 	items := make([]coloc.Item, 0, len(reps)+len(victims))
-	attackerCount := len(reps)
+	probedReps := make([]*faas.Instance, 0, len(reps))
 	for _, inst := range reps {
-		it, err := makeItem(inst, precision, gen2)
+		it, ok, err := collectItem(inst, precision, gen2, opts.ProbeRetryBudget, &faults)
 		if err != nil {
 			return Coverage{}, nil, err
 		}
+		if !ok {
+			faults.AttackersSkipped++
+			continue
+		}
+		probedReps = append(probedReps, inst)
 		items = append(items, it)
 	}
+	attackerCount := len(probedReps)
+	probedVictims := make([]*faas.Instance, 0, len(victims))
 	for _, inst := range victims {
-		it, err := makeItem(inst, precision, gen2)
+		it, ok, err := collectItem(inst, precision, gen2, opts.ProbeRetryBudget, &faults)
 		if err != nil {
 			return Coverage{}, nil, err
 		}
+		if !ok {
+			faults.VictimsSkipped++
+			continue
+		}
+		probedVictims = append(probedVictims, inst)
 		items = append(items, it)
+	}
+
+	cov := Coverage{VictimTotal: len(victims), Faults: faults}
+	if len(items) == 0 {
+		// Every instance faulted out: nothing to verify, nothing covered.
+		return cov, nil, nil
 	}
 
 	opt := coloc.DefaultOptions()
@@ -133,14 +194,14 @@ func MeasureCoverageDetail(tester coloc.Tester, attacker, victims []*faas.Instan
 		return Coverage{}, nil, err
 	}
 
-	cov := Coverage{VictimTotal: len(victims), Tests: res.Tests}
+	cov.Tests = res.Tests
 	attackerHosts := make(map[int]bool)
 	for i := 0; i < attackerCount; i++ {
 		attackerHosts[res.Labels[i]] = true
 	}
 	cov.AttackerHosts = len(attackerHosts)
 	shared := make(map[int]bool)
-	for v := 0; v < len(victims); v++ {
+	for v := 0; v < len(probedVictims); v++ {
 		label := res.Labels[attackerCount+v]
 		if attackerHosts[label] {
 			cov.VictimCovered++
@@ -152,16 +213,35 @@ func MeasureCoverageDetail(tester coloc.Tester, attacker, victims []*faas.Instan
 
 	// Collect the attacker instances whose verified cluster holds a victim.
 	victimLabels := make(map[int]bool)
-	for v := 0; v < len(victims); v++ {
+	for v := 0; v < len(probedVictims); v++ {
 		victimLabels[res.Labels[attackerCount+v]] = true
 	}
 	var spies []*faas.Instance
 	for i := 0; i < attackerCount; i++ {
 		if victimLabels[res.Labels[i]] {
-			spies = append(spies, reps[i])
+			spies = append(spies, probedReps[i])
 		}
 	}
 	return cov, spies, nil
+}
+
+// collectItem fingerprints one instance into a verification item, retrying
+// probe faults up to budget times. ok=false (with nil error) means the
+// instance kept faulting and is quarantined from this measurement; with
+// budget 0 the first probe fault is returned as an error instead.
+func collectItem(inst *faas.Instance, precision time.Duration, gen2 bool, budget int, faults *CoverageFaults) (coloc.Item, bool, error) {
+	it, err := makeItem(inst, precision, gen2)
+	for r := 0; err != nil && errors.Is(err, sandbox.ErrProbeFault) && r < budget; r++ {
+		faults.ProbeRetries++
+		it, err = makeItem(inst, precision, gen2)
+	}
+	if err == nil {
+		return it, true, nil
+	}
+	if errors.Is(err, sandbox.ErrProbeFault) && budget > 0 {
+		return coloc.Item{}, false, nil
+	}
+	return coloc.Item{}, false, err
 }
 
 // makeItem fingerprints one instance into a verification item.
@@ -186,14 +266,19 @@ func makeItem(inst *faas.Instance, precision time.Duration, gen2 bool) (coloc.It
 }
 
 // dedupeByFingerprint keeps the first instance per apparent host (Gen 1
-// fingerprints only).
-func dedupeByFingerprint(insts []*faas.Instance, precision time.Duration) ([]*faas.Instance, error) {
+// fingerprints only). Instances that keep probe-faulting past the retry
+// budget are dropped — they cannot represent a host they cannot identify.
+func dedupeByFingerprint(insts []*faas.Instance, opts CoverageOpts, faults *CoverageFaults) ([]*faas.Instance, error) {
 	seen := make(map[fingerprint.Key]bool, len(insts))
 	var out []*faas.Instance
 	for _, inst := range insts {
-		it, err := makeItem(inst, precision, false)
+		it, ok, err := collectItem(inst, opts.Precision, false, opts.ProbeRetryBudget, faults)
 		if err != nil {
 			return nil, err
+		}
+		if !ok {
+			faults.AttackersSkipped++
+			continue
 		}
 		if !seen[it.Fingerprint] {
 			seen[it.Fingerprint] = true

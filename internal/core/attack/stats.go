@@ -60,6 +60,40 @@ type CampaignStats struct {
 	// VictimInstances and VictimsCovered accumulate over Verify calls.
 	VictimInstances int
 	VictimsCovered  int
+
+	// Fault-recovery ledger. All-zero on a fault-free platform; a campaign
+	// hardened against a faas.FaultPlan meters every recovery action and its
+	// attributable cost here.
+
+	// LaunchRetries counts launch waves re-issued after a transient
+	// faas.ErrLaunchFault rejection.
+	LaunchRetries int
+	// RetryBackoffWall is the virtual time spent waiting out launch-retry
+	// backoff (the resident footprint stays connected — and billing —
+	// through it).
+	RetryBackoffWall time.Duration
+	// ReVotes counts majority-vote CTest repetitions beyond each test's
+	// first run (covert.TestEvent.Repetition > 0).
+	ReVotes int
+	// ProbeRetries counts fingerprint collections re-issued after a probe
+	// fault; ProbeSkips counts instances still faulting after the retry
+	// budget, left out of their batch instead of misclassified.
+	ProbeRetries int
+	ProbeSkips   int
+	// FaultVCPUSeconds, FaultGBSeconds and FaultUSD attribute the resident
+	// footprint's usage during retry backoff: the share of the bill a
+	// fault-free run would not have paid. The dollars themselves already
+	// flow through the launch-stage VCPUSeconds/USD via lazy accrual; this
+	// is attribution, not an extra charge.
+	FaultVCPUSeconds float64
+	FaultGBSeconds   float64
+	FaultUSD         float64
+}
+
+// FaultRecovery reports whether any fault-recovery activity was metered.
+func (s CampaignStats) FaultRecovery() bool {
+	return s.LaunchRetries > 0 || s.ReVotes > 0 || s.ProbeRetries > 0 ||
+		s.ProbeSkips > 0 || s.RetryBackoffWall > 0
 }
 
 // ObserveTest implements covert.Sink: the campaign's tester reports every
@@ -69,6 +103,9 @@ func (s *CampaignStats) ObserveTest(ev covert.TestEvent) {
 	s.CTests++
 	s.CovertTime += ev.Duration
 	s.CovertInstanceTime += time.Duration(ev.Participants) * ev.Duration
+	if ev.Repetition > 0 {
+		s.ReVotes++
+	}
 }
 
 // CoverageFraction returns covered/measured victims across all Verify
@@ -92,5 +129,9 @@ func (s CampaignStats) String() string {
 		s.Verifications, s.CTests, s.CovertTime)
 	fmt.Fprintf(&b, "  score:       %d/%d victims covered (%.1f%%)",
 		s.VictimsCovered, s.VictimInstances, 100*s.CoverageFraction())
+	if s.FaultRecovery() {
+		fmt.Fprintf(&b, "\n  faults:      %d launch retries (%v backoff, $%.2f held), %d re-votes, %d probe retries, %d skips",
+			s.LaunchRetries, s.RetryBackoffWall, s.FaultUSD, s.ReVotes, s.ProbeRetries, s.ProbeSkips)
+	}
 	return b.String()
 }

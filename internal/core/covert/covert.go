@@ -37,6 +37,13 @@ type Config struct {
 	// TestDuration is the wall-clock cost of one CTest (the paper assumes
 	// ~100 ms per test when costing the conventional approach).
 	TestDuration time.Duration
+	// VoteBudget is the majority-vote repetition count of each CTest: the
+	// whole test is repeated up to VoteBudget times and an instance's final
+	// verdict is the majority of the per-repetition verdicts. 0 or 1 runs
+	// the single-shot test, byte-identical to a budget-free build. Useful
+	// against time-correlated channel corruption (the fault plane's misfire
+	// windows span one whole test but repetitions re-draw independently).
+	VoteBudget int
 }
 
 // DefaultConfig returns the paper's parameters: the RNG channel, 60 rounds,
@@ -67,9 +74,19 @@ func (c Config) Validate() error {
 		return fmt.Errorf("covert: VoteThreshold must be in [1, Rounds]")
 	case c.TestDuration <= 0:
 		return fmt.Errorf("covert: TestDuration must be positive")
+	case c.VoteBudget < 0:
+		return fmt.Errorf("covert: VoteBudget must be non-negative")
 	}
 	return nil
 }
+
+// Verdict is the single verdict path of the covert channel: it converts the
+// number of rounds in which an instance observed sufficient contention into
+// the test outcome. Centralizing it pins the robustness property the test
+// relies on — with VoteThreshold at half the rounds (the paper's 30 of 60),
+// no single corrupted round can flip a verdict and silently merge two host
+// groups; only sustained corruption can.
+func (c Config) Verdict(votes int) bool { return votes >= c.VoteThreshold }
 
 // Stats accumulates the cost of the covert-channel activity: how many tests
 // ran and how much serialized wall-clock time they consumed. The coloc
@@ -88,6 +105,10 @@ type TestEvent struct {
 	Positives int
 	// Duration is the virtual wall-clock the test consumed.
 	Duration time.Duration
+	// Repetition is the majority-vote repetition index of this test: 0 for
+	// the first (or only) run, k for the k-th re-vote under a VoteBudget.
+	// Observers meter fault-recovery spend by counting nonzero repetitions.
+	Repetition int
 }
 
 // Sink observes every CTest a Tester runs (PairTest included, since it is a
@@ -109,10 +130,11 @@ type Tester struct {
 	// votes and obs are per-test scratch reused across CTests (a test runs
 	// Rounds contention rounds; without reuse each round allocated a fresh
 	// observation slice). pair backs PairTest's two-instance participant
-	// list.
+	// list; wins is majority-vote scratch for VoteBudget > 1.
 	votes []int
 	obs   []int
 	pair  [2]*faas.Instance
+	wins  []int
 }
 
 // NewTester builds a Tester. It panics on an invalid config, which is always
@@ -143,7 +165,45 @@ func (t *Tester) SetSink(s Sink) { t.sink = s }
 // in at least VoteThreshold rounds. The virtual clock advances by
 // TestDuration. m must be at least 2: an instance always observes its own
 // unit, so m = 1 would make every test positive.
+//
+// With VoteBudget > 1 the whole test is repeated that many times, one
+// TestDuration apart, and each instance's final verdict is the majority of
+// its per-repetition verdicts. Repetition is what recovers from
+// time-correlated channel corruption: a misfire window flips at most one
+// repetition, not the majority.
 func (t *Tester) CTest(instances []*faas.Instance, m int) ([]bool, error) {
+	budget := t.cfg.VoteBudget
+	if budget <= 1 {
+		return t.singleCTest(instances, m, 0)
+	}
+	if cap(t.wins) < len(instances) {
+		t.wins = make([]int, len(instances))
+	}
+	wins := t.wins[:len(instances)]
+	for i := range wins {
+		wins[i] = 0
+	}
+	for rep := 0; rep < budget; rep++ {
+		res, err := t.singleCTest(instances, m, rep)
+		if err != nil {
+			return nil, err
+		}
+		for i, positive := range res {
+			if positive {
+				wins[i]++
+			}
+		}
+	}
+	out := make([]bool, len(instances))
+	for i, w := range wins {
+		out[i] = w > budget/2
+	}
+	return out, nil
+}
+
+// singleCTest is one un-voted CTest execution; rep labels the majority-vote
+// repetition for observers.
+func (t *Tester) singleCTest(instances []*faas.Instance, m, rep int) ([]bool, error) {
 	if m < 2 {
 		return nil, fmt.Errorf("covert: contention threshold m=%d, need m >= 2", m)
 	}
@@ -177,7 +237,7 @@ func (t *Tester) CTest(instances []*faas.Instance, m int) ([]bool, error) {
 	out := make([]bool, len(instances))
 	positives := 0
 	for i, v := range votes {
-		out[i] = v >= t.cfg.VoteThreshold
+		out[i] = t.cfg.Verdict(v)
 		if out[i] {
 			positives++
 		}
@@ -187,6 +247,7 @@ func (t *Tester) CTest(instances []*faas.Instance, m int) ([]bool, error) {
 			Participants: len(instances),
 			Positives:    positives,
 			Duration:     t.cfg.TestDuration,
+			Repetition:   rep,
 		})
 	}
 	return out, nil

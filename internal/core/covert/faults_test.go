@@ -1,0 +1,151 @@
+package covert
+
+import (
+	"testing"
+	"time"
+
+	"eaao/internal/faas"
+)
+
+// faultWorld is testWorld with a fault plan installed on the region.
+func faultWorld(t *testing.T, seed uint64, n int, plan faas.FaultPlan) (*faas.Platform, []*faas.Instance) {
+	t.Helper()
+	p := faas.USEast1Profile()
+	p.Name = "t"
+	p.NumHosts = 120
+	p.PlacementGroups = 3
+	p.BasePoolSize = 30
+	p.AccountHelperPool = 60
+	p.ServiceHelperSize = 45
+	p.ServiceHelperFresh = 5
+	p.Faults = plan
+	pl := faas.MustPlatform(seed, p)
+	insts, err := pl.MustRegion("t").Account("a").DeployService("s", faas.ServiceConfig{}).Launch(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl, insts
+}
+
+// TestVerdictSingleRoundCorruption pins the robustness property of the
+// centralized verdict path: with the paper's 30-of-60 threshold, one
+// corrupted contention round — a phantom unit on a separated pair, or a
+// zeroed observation on a co-located one — cannot flip a verdict. Only the
+// exact threshold boundary separates the outcomes.
+func TestVerdictSingleRoundCorruption(t *testing.T) {
+	cfg := DefaultConfig()
+	// Separated pair: 0 genuine votes; one false-positive round yields 1.
+	if cfg.Verdict(1) {
+		t.Error("one corrupted round flipped a separated pair positive")
+	}
+	// Co-located pair: Rounds genuine votes; one false-negative round drops one.
+	if !cfg.Verdict(cfg.Rounds - 1) {
+		t.Error("one corrupted round flipped a co-located pair negative")
+	}
+	// The boundary is exactly VoteThreshold.
+	if cfg.Verdict(cfg.VoteThreshold - 1) {
+		t.Errorf("verdict positive at %d votes, below threshold %d", cfg.VoteThreshold-1, cfg.VoteThreshold)
+	}
+	if !cfg.Verdict(cfg.VoteThreshold) {
+		t.Errorf("verdict negative at threshold %d", cfg.VoteThreshold)
+	}
+}
+
+// countPairErrors runs repeated PairTests of a co-located pair on a world
+// with false-negative channel corruption and returns how many came back
+// wrong (negative).
+func countPairErrors(t *testing.T, seed uint64, voteBudget, tests int) int {
+	t.Helper()
+	plan := faas.FaultPlan{ChannelFalseNegativeRate: 0.12}
+	pl, insts := faultWorld(t, seed, 100, plan)
+	cfg := DefaultConfig()
+	cfg.VoteBudget = voteBudget
+	tester := NewTester(pl.Scheduler(), cfg)
+	coA, coB, _, _ := findPairs(t, insts)
+	wrong := 0
+	for i := 0; i < tests; i++ {
+		pos, err := tester.PairTest(insts[coA], insts[coB])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pos {
+			wrong++
+		}
+		// Space the tests out so each sees a fresh misfire-window draw.
+		pl.Scheduler().Advance(200 * time.Millisecond)
+	}
+	return wrong
+}
+
+// A misfire episode spans one whole test window, so a single-shot CTest is
+// defenseless against it, while majority-vote repetitions (spaced one
+// TestDuration apart) re-draw the window and recover. This is the fault the
+// VoteBudget knob exists for; the test demonstrates it end to end through
+// the platform's injected channel corruption.
+func TestVoteBudgetAbsorbsChannelMisfires(t *testing.T) {
+	const tests = 50
+	single := countPairErrors(t, 21, 0, tests)
+	voted := countPairErrors(t, 21, 3, tests)
+	if single == 0 {
+		t.Fatalf("no single-shot errors in %d corrupted tests; fault injection inert?", tests)
+	}
+	if voted >= single {
+		t.Errorf("majority vote did not help: %d/%d wrong single-shot, %d/%d with budget 3",
+			single, tests, voted, tests)
+	}
+}
+
+// TestVoteBudgetAccounting: a budget of 3 runs (and bills) three full tests
+// per CTest — clock, stats, and sink all see every repetition.
+func TestVoteBudgetAccounting(t *testing.T) {
+	pl, insts := testWorld(t, 2, 10)
+	cfg := DefaultConfig()
+	cfg.VoteBudget = 3
+	tester := NewTester(pl.Scheduler(), cfg)
+	sink := &recordingSink{}
+	tester.SetSink(sink)
+
+	before := pl.Now()
+	if _, err := tester.CTest(insts[:3], 2); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := pl.Now().Sub(before), 3*cfg.TestDuration; got != want {
+		t.Errorf("clock advanced %v, want %v", got, want)
+	}
+	if st := tester.Stats(); st.Tests != 3 {
+		t.Errorf("stats.Tests = %d, want 3 (one per repetition)", st.Tests)
+	}
+	if len(sink.events) != 3 {
+		t.Fatalf("sink saw %d events, want 3", len(sink.events))
+	}
+	for i, ev := range sink.events {
+		if ev.Repetition != i {
+			t.Errorf("event %d has repetition %d", i, ev.Repetition)
+		}
+	}
+}
+
+// On a fault-free world, voting changes nothing but the cost: every verdict
+// matches the single-shot tester's.
+func TestVoteBudgetFaultFreeIdentity(t *testing.T) {
+	pl, insts := testWorld(t, 1, 100)
+	coA, coB, farA, farB := findPairs(t, insts)
+	cfg := DefaultConfig()
+	cfg.VoteBudget = 3
+	tester := NewTester(pl.Scheduler(), cfg)
+
+	pos, err := tester.PairTest(insts[coA], insts[coB])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pos {
+		t.Error("co-located pair negative under voting on a clean world")
+	}
+	neg, err := tester.PairTest(insts[farA], insts[farB])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if neg {
+		t.Error("separated pair positive under voting on a clean world")
+	}
+}

@@ -1,0 +1,115 @@
+package fingerprint
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"eaao/internal/faas"
+	"eaao/internal/sandbox"
+)
+
+// faultTestWorld is testWorld with a fault plan installed on the region.
+func faultTestWorld(t *testing.T, seed uint64, n int, plan faas.FaultPlan) (*faas.Platform, []*faas.Instance) {
+	t.Helper()
+	p := faas.USEast1Profile()
+	p.Name = "t"
+	p.NumHosts = 150
+	p.PlacementGroups = 3
+	p.BasePoolSize = 40
+	p.AccountHelperPool = 60
+	p.ServiceHelperSize = 45
+	p.ServiceHelperFresh = 5
+	p.Faults = plan
+	pl := faas.MustPlatform(seed, p)
+	svc := pl.MustRegion("t").Account("a").DeployService("s", faas.ServiceConfig{})
+	insts, err := svc.Launch(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl, insts
+}
+
+// With probe faults certain, every collection fails — and fails loudly with
+// the sentinel the attack layer retries on, never with a silently wrong
+// sample.
+func TestCollectFailsWithProbeFaultSentinel(t *testing.T) {
+	_, insts := faultTestWorld(t, 3, 3, faas.FaultPlan{ProbeFailureRate: 1})
+	if _, err := CollectGen1(insts[0].MustGuest()); !errors.Is(err, sandbox.ErrProbeFault) {
+		t.Errorf("CollectGen1 error = %v, want ErrProbeFault", err)
+	}
+	if _, err := CollectGen2(insts[1].MustGuest()); !errors.Is(err, sandbox.ErrProbeFault) {
+		t.Errorf("CollectGen2 error = %v, want ErrProbeFault", err)
+	}
+}
+
+// A faulted frequency-measurement repetition must never be silently
+// classifiable: any measurement containing a faulted sample blows StdHz past
+// the usability threshold, even when every repetition faulted (identical
+// corruption would otherwise yield a deceptively small deviation).
+func TestFaultedFrequencyMeasurementNeverUsable(t *testing.T) {
+	pl, insts := faultTestWorld(t, 4, 2, faas.FaultPlan{ProbeFailureRate: 1})
+	m, err := MeasureFrequency(insts[0].MustGuest(), pl.Scheduler(), 100*time.Millisecond, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Usable() {
+		t.Errorf("fully faulted measurement classified usable (StdHz %.0f)", m.StdHz)
+	}
+}
+
+// TestRobustFrequencyRecoversTransients: under a transient probe-fault rate,
+// plain MeasureFrequency misclassifies some healthy hosts as problematic,
+// while RobustFrequency re-samples them back to usable; hosts that stay
+// unusable through the budget end quarantined rather than fingerprinted.
+func TestRobustFrequencyRecoversTransients(t *testing.T) {
+	pl, insts := faultTestWorld(t, 5, 40, faas.FaultPlan{ProbeFailureRate: 0.15})
+	sched := pl.Scheduler()
+	clean, recovered, quarantined := 0, 0, 0
+	for _, inst := range insts {
+		m, q, err := RobustFrequency(inst.MustGuest(), sched, 100*time.Millisecond, 6, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case q.Quarantined:
+			if m.Usable() {
+				t.Fatal("quarantined measurement reports usable")
+			}
+			quarantined++
+		case q.Resamples > 0:
+			if !m.Usable() {
+				t.Fatal("non-quarantined measurement reports unusable")
+			}
+			recovered++
+		default:
+			clean++
+		}
+	}
+	if recovered == 0 {
+		t.Errorf("no host recovered via re-sampling (clean %d, quarantined %d); fault rate inert?",
+			clean, quarantined)
+	}
+	if clean == 0 {
+		t.Error("every host faulted at rate 0.15; fault stream suspiciously hot")
+	}
+}
+
+// On a fault-free world RobustFrequency is MeasureFrequency: no re-samples,
+// no quarantine, same draw sequence.
+func TestRobustFrequencyFaultFreeIdentity(t *testing.T) {
+	pl, insts := testWorld(t, 6, 10)
+	sched := pl.Scheduler()
+	for _, inst := range insts {
+		m, q, err := RobustFrequency(inst.MustGuest(), sched, 100*time.Millisecond, 6, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Resamples != 0 || q.Quarantined {
+			t.Fatalf("clean world triggered recovery: %+v", q)
+		}
+		if !m.Usable() {
+			t.Fatal("clean measurement unusable")
+		}
+	}
+}

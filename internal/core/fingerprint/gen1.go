@@ -47,6 +47,9 @@ type Sample struct {
 // Gen 2 as well, but the boot time it leads to is the VM's, not the host's —
 // use Gen 2 fingerprints there instead.
 func CollectGen1(g *sandbox.Guest) (Sample, error) {
+	if g.ProbeFault() {
+		return Sample{}, fmt.Errorf("fingerprint: gen1 collection: %w", sandbox.ErrProbeFault)
+	}
 	hz, err := g.ReportedTSCHz()
 	if err != nil {
 		return Sample{}, fmt.Errorf("fingerprint: no reported frequency: %w", err)

@@ -22,6 +22,9 @@ type Gen2 struct {
 // CollectGen2 reads a Gen 2 fingerprint from inside a guest VM. It fails in
 // Gen 1, where the refined host frequency is unreachable.
 func CollectGen2(g *sandbox.Guest) (Gen2, error) {
+	if g.ProbeFault() {
+		return Gen2{}, fmt.Errorf("fingerprint: gen2 collection: %w", sandbox.ErrProbeFault)
+	}
 	hz, err := g.GuestKernelTSCHz()
 	if err != nil {
 		return Gen2{}, err

@@ -43,7 +43,9 @@ func MeasureFrequency(g *sandbox.Guest, sched *simtime.Scheduler, interval time.
 		return FreqMeasurement{}, fmt.Errorf("fingerprint: non-positive repetition count")
 	}
 	samples := make([]float64, 0, reps)
+	faultScale := 1.001
 	for i := 0; i < reps; i++ {
+		faulted := g.ProbeFault()
 		tsc1, wall1 := g.ReadTSCAndWall()
 		sched.Advance(interval)
 		tsc2, wall2 := g.ReadTSCAndWall()
@@ -52,7 +54,18 @@ func MeasureFrequency(g *sandbox.Guest, sched *simtime.Scheduler, interval time.
 			// Noise collapsed the interval; skip the sample.
 			continue
 		}
-		samples = append(samples, float64(tsc2-tsc1)/dw)
+		est := float64(tsc2-tsc1) / dw
+		if faulted {
+			// A faulted repetition yields a wrong estimate (the read pair
+			// straddled a descheduling). The error is megahertz-scale on
+			// real frequencies and grows per faulted repetition, so any
+			// faulted measurement's StdHz blows past the usability
+			// threshold — the fault is detectable across repetitions,
+			// never silently classifiable.
+			est *= faultScale
+			faultScale += 0.001
+		}
+		samples = append(samples, est)
 	}
 	if len(samples) == 0 {
 		return FreqMeasurement{}, fmt.Errorf("fingerprint: all frequency samples degenerate")
@@ -68,4 +81,40 @@ func MeasureFrequency(g *sandbox.Guest, sched *simtime.Scheduler, interval time.
 // of the reported one: drift-free where the measurement is usable.
 func BootTimeMeasured(s Sample, m FreqMeasurement) float64 {
 	return s.BootTimeSeconds(m.MeanHz)
+}
+
+// Quarantine reports the recovery bookkeeping of a RobustFrequency
+// measurement: how many times the host was re-sampled, and whether it ended
+// quarantined (still unusable after the budget — set aside rather than
+// misclassified).
+type Quarantine struct {
+	// Resamples is how many extra full measurements were taken.
+	Resamples int
+	// Quarantined is set when the final measurement is still unusable: the
+	// host's frequency disagrees with itself across samples, so the caller
+	// must not fingerprint with it.
+	Quarantined bool
+}
+
+// RobustFrequency is MeasureFrequency hardened against transient probe
+// faults: when a measurement comes back unusable (StdHz past the
+// problematic-host threshold), the host is re-measured up to budget times
+// instead of being misclassified on one bad sample. Genuinely problematic
+// hosts (§4.2: ~10% of the fleet) stay unusable on every attempt and end
+// quarantined; hosts that merely hit a transient fault recover on a retry.
+func RobustFrequency(g *sandbox.Guest, sched *simtime.Scheduler, interval time.Duration, reps, budget int) (FreqMeasurement, Quarantine, error) {
+	m, err := MeasureFrequency(g, sched, interval, reps)
+	if err != nil {
+		return m, Quarantine{}, err
+	}
+	var q Quarantine
+	for !m.Usable() && q.Resamples < budget {
+		q.Resamples++
+		m, err = MeasureFrequency(g, sched, interval, reps)
+		if err != nil {
+			return m, q, err
+		}
+	}
+	q.Quarantined = !m.Usable()
+	return m, q, nil
 }

@@ -35,6 +35,12 @@ type Context struct {
 	// profile the experiments build (the CLI's -policy flag). nil keeps
 	// each profile's own setting — the calibrated CloudRun behavior.
 	Policy faas.PlacementPolicy
+	// Faults, when enabled, is applied to every region profile the
+	// experiments build (the CLI's -faults flag). The zero value leaves the
+	// profiles fault-free — byte-identical to a build without the fault
+	// plane. The faultsweep experiment ignores this and sweeps its own
+	// plans.
+	Faults faas.FaultPlan
 }
 
 // jobs resolves the effective worker count.
@@ -138,6 +144,7 @@ func init() {
 		// frozen golden-digest id list keeps matching the registry prefix.
 		{ID: "policyablation", Title: "Attack outcome under swappable placement policies", PaperRef: "§5.2 + §6, DESIGN.md §2", Run: runPolicyAblation},
 		{ID: "strategyablation", Title: "Coverage vs cost under swappable launch strategies", PaperRef: "§5.2, DESIGN.md attack layer", Run: runStrategyAblation},
+		{ID: "faultsweep", Title: "Coverage and cost vs injected fault rate", PaperRef: "§4.1 measurement conditions, DESIGN.md fault plane", Run: runFaultSweep},
 	}
 }
 
@@ -183,6 +190,11 @@ func (c Context) profiles() []faas.RegionProfile {
 	if c.Policy != nil {
 		for i := range profs {
 			profs[i].Policy = c.Policy
+		}
+	}
+	if c.Faults.Enabled() {
+		for i := range profs {
+			profs[i].Faults = c.Faults
 		}
 	}
 	return profs

@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"eaao/internal/core/attack"
+	"eaao/internal/faas"
+	"eaao/internal/report"
+	"eaao/internal/sandbox"
+)
+
+// faultVariant is one curve of the fault sweep: a launch strategy plus a
+// hardening level.
+type faultVariant struct {
+	name     string
+	strategy attack.LaunchStrategy
+	hardened bool
+}
+
+// faultVariants returns the sweep's curves: every built-in strategy with the
+// full fault-recovery budget, plus the optimized strategy with every budget
+// zeroed — the before/after pair the hardening is judged by.
+func faultVariants() []faultVariant {
+	return []faultVariant{
+		{name: "naive", strategy: attack.NaiveStrategy{}, hardened: true},
+		{name: "optimized", strategy: attack.OptimizedStrategy{}, hardened: true},
+		{name: "adaptive", strategy: attack.AdaptiveStrategy{}, hardened: true},
+		{name: "optimized-raw", strategy: attack.OptimizedStrategy{}, hardened: false},
+	}
+}
+
+// hardenedBudgets is the fault-recovery configuration the sweep's hardened
+// curves run with.
+func hardenedBudgets(cfg *attack.Config) {
+	cfg.LaunchRetries = 4
+	cfg.RetryBackoff = 30 * time.Second
+	cfg.VoteBudget = 3
+	cfg.ProbeRetryBudget = 3
+}
+
+// faultLevels is the injected uniform fault-level sweep. Level 0.05 is the
+// acceptance point: 5% launch faults, 2% channel misfire, 2.5% probe faults
+// (see faas.UniformFaultPlan).
+func (c Context) faultLevels() []float64 {
+	if c.Quick {
+		return []float64{0, 0.05}
+	}
+	return []float64{0, 0.02, 0.05, 0.10, 0.20}
+}
+
+// runFaultSweep measures victim coverage and attack cost as a function of
+// the injected fault level, for each launch strategy with the fault-recovery
+// budgets on, and for the optimized strategy with them off. A campaign that
+// dies to an unrecovered fault scores zero coverage — the run is lost, which
+// is exactly what an unhardened pipeline buys on a flaky cloud — while the
+// hardened curves show what the recovery spend (retries, re-votes, backoff
+// dollars) bought back.
+func runFaultSweep(ctx Context) (*Result, error) {
+	d, _ := ByID("faultsweep")
+	res := newResult(d)
+	n := 150
+	if !ctx.Quick {
+		n = 400
+	}
+	levels := ctx.faultLevels()
+	variants := faultVariants()
+
+	type unit struct {
+		level   float64
+		variant faultVariant
+	}
+	var units []unit
+	for _, level := range levels {
+		for _, v := range variants {
+			units = append(units, unit{level, v})
+		}
+	}
+
+	type point struct {
+		st     attack.CampaignStats
+		cov    attack.Coverage
+		failed bool // campaign died to an unrecovered injected fault
+	}
+	// All units share one world seed: like the strategy ablation, the fault
+	// level and the hardening are the only variables (the trial sub-seed is
+	// deliberately unused).
+	rows, err := runTrials(ctx, len(units), func(t Trial) (point, error) {
+		u := units[t.Index]
+		prof := ablationProfile()
+		prof.Faults = faas.UniformFaultPlan(u.level)
+		pl := faas.MustPlatform(ctx.Seed+31, prof)
+		dc := pl.MustRegion("ablation")
+		cfg := attack.DefaultConfig()
+		cfg.Services = 2
+		cfg.InstancesPerLaunch = n
+		cfg.Launches = 6
+		if u.variant.hardened {
+			hardenedBudgets(&cfg)
+		}
+		camp, err := launchCampaign(dc, "attacker", cfg, u.variant.strategy, sandbox.Gen1)
+		if err != nil {
+			if injectedFault(err) {
+				return point{failed: true}, nil
+			}
+			return point{}, err
+		}
+		_, vic, err := faultTolerantVictim(dc, "victim", "v", 60, 3)
+		if err != nil {
+			return point{}, err
+		}
+		cov, _, err := camp.Verify(vic)
+		if err != nil {
+			if injectedFault(err) {
+				return point{st: camp.Stats(), failed: true}, nil
+			}
+			return point{}, err
+		}
+		return point{st: camp.Stats(), cov: cov}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	tbl := report.NewTable("Fault sweep: coverage and cost vs injected fault level",
+		"fault level", "variant", "coverage", "USD", "launch retries", "re-votes",
+		"probe retries+skips", "fault USD")
+	fig := &report.Figure{
+		ID:     "faultsweep",
+		Title:  "Victim coverage vs injected fault level",
+		XLabel: "uniform fault level",
+		YLabel: "victim coverage",
+	}
+	zeroCov := make(map[string]float64)
+	for i, u := range units {
+		p := rows[i]
+		cov := p.cov.Fraction()
+		status := ""
+		if p.failed {
+			cov = 0
+			status = " (died)"
+		}
+		if u.level == 0 {
+			zeroCov[u.variant.name] = cov
+		}
+		tbl.AddRow(fmt.Sprintf("%.0f%%%s", 100*u.level, status), u.variant.name, cov,
+			p.st.USD, p.st.LaunchRetries, p.st.ReVotes,
+			p.st.ProbeRetries+p.st.ProbeSkips, p.st.FaultUSD)
+		key := fmt.Sprintf("%s_f%.0f", u.variant.name, 100*u.level)
+		res.Metrics["cov_"+key] = cov
+		res.Metrics["usd_"+key] = p.st.USD
+		res.Metrics["faultusd_"+key] = p.st.FaultUSD
+		if base := zeroCov[u.variant.name]; base > 0 && u.level > 0 {
+			res.Metrics["retention_"+key] = cov / base
+		}
+	}
+	for _, v := range variants {
+		var xs, ys []float64
+		for i, u := range units {
+			if u.variant.name != v.name {
+				continue
+			}
+			cov := rows[i].cov.Fraction()
+			if rows[i].failed {
+				cov = 0
+			}
+			xs = append(xs, u.level)
+			ys = append(ys, cov)
+		}
+		fig.AddSeries(v.name, xs, ys)
+	}
+	res.Tables = append(res.Tables, tbl)
+	res.Figures = append(res.Figures, fig)
+
+	res.note("same world seed per cell; fault level and hardening are the only variables")
+	res.note("hardened budgets: %d launch retries (30s backoff), vote budget 3, probe retry budget 3; optimized-raw zeroes all of them, so its first unrecovered fault kills the campaign", 4)
+	return res, nil
+}
+
+// injectedFault reports whether an error chain bottoms out in one of the
+// fault plane's injected failures (as opposed to a programming error, which
+// must fail the experiment).
+func injectedFault(err error) bool {
+	return errors.Is(err, faas.ErrLaunchFault) || errors.Is(err, sandbox.ErrProbeFault)
+}
+
+// faultTolerantVictim is coldVictim for a faulted world: the victim tenant's
+// deploy tooling retries transient launch rejections like any production
+// pipeline, so victim existence is part of the environment rather than a
+// casualty of the sweep. Retries advance the clock by the same backoff a
+// real control plane would impose.
+func faultTolerantVictim(dc *faas.DataCenter, account, service string,
+	n, launches int) (*faas.Service, []*faas.Instance, error) {
+	svc := dc.Account(account).DeployService(service, faas.ServiceConfig{})
+	var vic []*faas.Instance
+	for l := 0; l < launches; l++ {
+		var err error
+		vic, err = svc.Launch(n)
+		for tries := 0; err != nil && errors.Is(err, faas.ErrLaunchFault) && tries < 8; tries++ {
+			dc.Scheduler().Advance(15 * time.Second)
+			vic, err = svc.Launch(n)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		if l < launches-1 {
+			svc.Disconnect()
+			dc.Scheduler().Advance(45 * time.Minute)
+		}
+	}
+	return svc, vic, nil
+}

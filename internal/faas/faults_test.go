@@ -1,0 +1,177 @@
+package faas
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func faultDC(t *testing.T, seed uint64, plan FaultPlan) *DataCenter {
+	t.Helper()
+	p := testProfile()
+	p.Faults = plan
+	pl, err := NewPlatform(seed, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl.MustRegion(p.Name)
+}
+
+func TestFaultPlanValidate(t *testing.T) {
+	var zero FaultPlan
+	if zero.Enabled() {
+		t.Error("zero plan reports Enabled")
+	}
+	if err := zero.Validate(); err != nil {
+		t.Errorf("zero plan invalid: %v", err)
+	}
+	ok := FaultPlan{
+		LaunchFailureRate:        0.5,
+		PreemptionRatePerHour:    1,
+		ChannelFalsePositiveRate: 0.01,
+		ChannelFalseNegativeRate: 0.99,
+		ProbeFailureRate:         0.3,
+	}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("in-range plan invalid: %v", err)
+	}
+	if !ok.Enabled() {
+		t.Error("in-range plan reports disabled")
+	}
+	for _, bad := range []FaultPlan{
+		{LaunchFailureRate: -0.1},
+		{LaunchFailureRate: 1.1},
+		{PreemptionRatePerHour: -1},
+		{PreemptionRatePerHour: 2},
+		{ChannelFalsePositiveRate: 1.0001},
+		{ChannelFalseNegativeRate: -0.0001},
+		{ProbeFailureRate: 7},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("out-of-range plan %+v validated", bad)
+		}
+	}
+}
+
+func TestUniformFaultPlan(t *testing.T) {
+	if got := UniformFaultPlan(0); got != (FaultPlan{}) {
+		t.Errorf("UniformFaultPlan(0) = %+v, want zero plan", got)
+	}
+	p := UniformFaultPlan(0.05)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	approx := func(got, want float64) bool {
+		d := got - want
+		return d < 1e-12 && d > -1e-12
+	}
+	if !approx(p.LaunchFailureRate, 0.05) {
+		t.Errorf("LaunchFailureRate = %v", p.LaunchFailureRate)
+	}
+	if !approx(p.PreemptionRatePerHour, 0.0125) {
+		t.Errorf("PreemptionRatePerHour = %v", p.PreemptionRatePerHour)
+	}
+	if !approx(p.ChannelFalsePositiveRate, 0.01) || !approx(p.ChannelFalseNegativeRate, 0.01) {
+		t.Errorf("channel rates = %v / %v", p.ChannelFalsePositiveRate, p.ChannelFalseNegativeRate)
+	}
+	if !approx(p.ProbeFailureRate, 0.025) {
+		t.Errorf("ProbeFailureRate = %v", p.ProbeFailureRate)
+	}
+}
+
+// faultWorkload exercises every faultable code path — launches, churn/
+// preemption sweeps, contention rounds, contention probes, disconnects —
+// against one plan, returning the final bill and fault tally. It fails the
+// test on any error that is not an injected fault.
+func faultWorkload(t *testing.T, seed uint64, plan FaultPlan) (Bill, FaultCounters) {
+	t.Helper()
+	dc := faultDC(t, seed, plan)
+	sched := dc.Scheduler()
+	acct := dc.Account("tenant")
+	acct.Mature()
+	svc := acct.DeployService("svc", ServiceConfig{})
+	lastVCPU := 0.0
+	for round := 0; round < 25; round++ {
+		insts, err := svc.Launch(20)
+		switch {
+		case err == nil:
+			if len(insts) != 20 {
+				t.Fatalf("round %d: successful launch returned %d of 20", round, len(insts))
+			}
+		case errors.Is(err, ErrLaunchFault):
+			// Injected; the launch must have been a clean no-op (checked in
+			// detail by TestLaunchFaultLeavesNoPartialState).
+		default:
+			t.Fatalf("round %d: unexpected launch error: %v", round, err)
+		}
+		sched.Advance(10 * time.Minute)
+		live := svc.ActiveInstances()
+		if len(live) > 1 {
+			if _, err := ContentionRoundOnInto(ResourceRNG, live[:2], nil); err != nil {
+				t.Fatalf("round %d: contention round: %v", round, err)
+			}
+			if _, err := ProbeContention(live[0]); err != nil && !errors.Is(err, ErrProbeFault) {
+				t.Fatalf("round %d: probe: %v", round, err)
+			}
+		}
+		if round%7 == 6 {
+			svc.Disconnect()
+		}
+		bill := acct.Bill()
+		if bill.Instances < 0 {
+			t.Fatalf("round %d: bill.Instances went negative: %d", round, bill.Instances)
+		}
+		if bill.VCPUSeconds < lastVCPU {
+			t.Fatalf("round %d: VCPUSeconds decreased: %v -> %v", round, lastVCPU, bill.VCPUSeconds)
+		}
+		lastVCPU = bill.VCPUSeconds
+	}
+	return acct.Bill(), dc.FaultCounters()
+}
+
+// TestFaultPlanNeverPanics is the fault plane's safety property: any plan
+// with rates in [0,1] — including every rate pinned at 1 — runs the full
+// workload without panicking, keeps the bill consistent, and a disabled plan
+// injects nothing.
+func TestFaultPlanNeverPanics(t *testing.T) {
+	plans := []FaultPlan{
+		{},
+		UniformFaultPlan(0.01),
+		UniformFaultPlan(0.25),
+		UniformFaultPlan(1),
+		{LaunchFailureRate: 1},
+		{PreemptionRatePerHour: 1},
+		{ChannelFalsePositiveRate: 1},
+		{ChannelFalseNegativeRate: 1},
+		{ProbeFailureRate: 1},
+		{LaunchFailureRate: 0.3, ChannelFalsePositiveRate: 0.7, ProbeFailureRate: 0.9},
+	}
+	for i, plan := range plans {
+		_, fc := faultWorkload(t, uint64(100+i), plan)
+		total := fc.LaunchRejections + fc.LaunchAborts + fc.Preemptions +
+			fc.ChannelMisfires + fc.ProbeFaults
+		if !plan.Enabled() && total != 0 {
+			t.Errorf("plan %d: disabled plan injected %d faults: %+v", i, total, fc)
+		}
+		if plan.LaunchFailureRate == 1 && fc.LaunchRejections+fc.LaunchAborts == 0 {
+			t.Errorf("plan %d: certain launch failure never fired", i)
+		}
+	}
+}
+
+// TestFaultWorldDeterministic: the same seed and plan reproduce the exact
+// same fault history — counters and bill alike.
+func TestFaultWorldDeterministic(t *testing.T) {
+	plan := UniformFaultPlan(0.2)
+	b1, f1 := faultWorkload(t, 77, plan)
+	b2, f2 := faultWorkload(t, 77, plan)
+	if f1 != f2 {
+		t.Errorf("fault counters diverged:\n  %+v\n  %+v", f1, f2)
+	}
+	if b1 != b2 {
+		t.Errorf("bills diverged:\n  %+v\n  %+v", b1, b2)
+	}
+	if f1 == (FaultCounters{}) {
+		t.Error("level-0.2 workload injected no faults at all")
+	}
+}

@@ -51,6 +51,14 @@ type Host struct {
 	// resident here and the once-per-round background draw (-1 = not drawn).
 	roundCount int
 	roundBG    int8
+
+	// Covert-channel misfire state (fault plane): misfireBias is the bias of
+	// the current misfire window (+1 phantom contention, -1 dead reads, 0
+	// healthy) and misfireCheckAt is the instant the window expires and a
+	// new episode may be drawn. Both stay zero while the channel fault rates
+	// are zero — no draws, no behavior change.
+	misfireBias    int8
+	misfireCheckAt simtime.Time
 }
 
 // newHost builds host i of a data center, drawing its model, boot time, TSC
@@ -143,6 +151,45 @@ func (h *Host) Mitigations() sandbox.Mitigations { return h.dc.profile.Mitigatio
 
 // Now returns the current virtual time (sandbox.HostEnv).
 func (h *Host) Now() simtime.Time { return h.dc.platform.sched.Now() }
+
+// ProbeFault reports whether a fingerprint or contention probe on this host
+// fails at this instant (sandbox.HostEnv). It draws from the region's
+// dedicated probe-fault stream only while the configured rate is positive,
+// so a zero-valued fault plan never perturbs the simulation.
+func (h *Host) ProbeFault() bool {
+	r := h.dc.faults.ProbeFailureRate
+	if r <= 0 || !h.dc.probeFaultRNG.Bool(r) {
+		return false
+	}
+	h.dc.faultCounters.ProbeFaults++
+	return true
+}
+
+// updateMisfire refreshes the host's covert-channel misfire state at the
+// start of a contention round: while a window is open its bias stands;
+// once it expires, a fresh episode is drawn from the channel fault stream.
+// With both channel rates zero this is a no-op (and draws nothing).
+func (h *Host) updateMisfire() {
+	fp := h.dc.faults.ChannelFalsePositiveRate
+	fn := h.dc.faults.ChannelFalseNegativeRate
+	if fp <= 0 && fn <= 0 {
+		return
+	}
+	now := h.dc.platform.sched.Now()
+	if now.Before(h.misfireCheckAt) {
+		return
+	}
+	h.misfireCheckAt = now.Add(ChannelMisfireWindow)
+	h.misfireBias = 0
+	if fp > 0 && h.dc.channelFaultRNG.Bool(fp) {
+		h.misfireBias = 1
+	} else if fn > 0 && h.dc.channelFaultRNG.Bool(fn) {
+		h.misfireBias = -1
+	}
+	if h.misfireBias != 0 {
+		h.dc.faultCounters.ChannelMisfires++
+	}
+}
 
 // BootTime returns the host's true boot instant (ground truth).
 func (h *Host) BootTime() simtime.Time { return h.counter.Boot }

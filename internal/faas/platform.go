@@ -120,6 +120,17 @@ type DataCenter struct {
 	tracer            PlacementTracer
 	traceSeq          uint64
 	deprecationWarned bool
+
+	// faults is the region's injected-failure plan; the dedicated fault
+	// streams below are derived unconditionally (derivation consumes no
+	// parent randomness) but drawn from only while the matching rate is
+	// positive, which is what keeps a zero plan byte-identical.
+	faults          FaultPlan
+	launchFaultRNG  *randx.Source
+	preemptRNG      *randx.Source
+	channelFaultRNG *randx.Source
+	probeFaultRNG   *randx.Source
+	faultCounters   FaultCounters
 }
 
 func newDataCenter(p *Platform, prof RegionProfile) *DataCenter {
@@ -129,7 +140,12 @@ func newDataCenter(p *Platform, prof RegionProfile) *DataCenter {
 		rng:      p.rng.Derive("dc", string(prof.Name)),
 		accounts: make(map[string]*Account),
 		policy:   policyFor(prof),
+		faults:   prof.Faults,
 	}
+	dc.launchFaultRNG = dc.rng.Derive("faults", "launch")
+	dc.preemptRNG = dc.rng.Derive("faults", "preempt")
+	dc.channelFaultRNG = dc.rng.Derive("faults", "channel")
+	dc.probeFaultRNG = dc.rng.Derive("faults", "probe")
 	boots := sampleBootTimes(dc.rng.Derive("boots"), prof, p.sched.Now())
 	dc.hosts = make([]*Host, prof.NumHosts)
 	for i := range dc.hosts {
@@ -196,9 +212,14 @@ func (dc *DataCenter) nextInstanceID(svc *Service) string {
 
 // scheduleChurnSweep installs the hourly instance-recycling sweep that
 // models the platform occasionally moving long-running instances (it is what
-// truncates fingerprint histories in the week-long Fig. 5 measurement).
+// truncates fingerprint histories in the week-long Fig. 5 measurement). The
+// same sweep carries the fault plane's preemption pass: preempted instances
+// are terminated without replacement — the tenant's connection is simply
+// gone.
 func (dc *DataCenter) scheduleChurnSweep() {
-	if dc.profile.InstanceChurnPerHour <= 0 {
+	churn := dc.profile.InstanceChurnPerHour
+	preempt := dc.faults.PreemptionRatePerHour
+	if churn <= 0 && preempt <= 0 {
 		return
 	}
 	churnRNG := dc.rng.Derive("churn")
@@ -209,14 +230,28 @@ func (dc *DataCenter) scheduleChurnSweep() {
 	sweep = func(now simtime.Time) {
 		for _, acct := range dc.acctSeq {
 			for _, svc := range acct.svcSeq {
-				victims = victims[:0]
-				for _, inst := range svc.insts {
-					if inst != nil && inst.state == StateActive && churnRNG.Bool(dc.profile.InstanceChurnPerHour) {
-						victims = append(victims, inst)
+				if churn > 0 {
+					victims = victims[:0]
+					for _, inst := range svc.insts {
+						if inst != nil && inst.state == StateActive && churnRNG.Bool(churn) {
+							victims = append(victims, inst)
+						}
+					}
+					for _, inst := range victims {
+						svc.recycle(inst, now)
 					}
 				}
-				for _, inst := range victims {
-					svc.recycle(inst, now)
+				if preempt > 0 {
+					victims = victims[:0]
+					for _, inst := range svc.insts {
+						if inst != nil && inst.state == StateActive && dc.preemptRNG.Bool(preempt) {
+							victims = append(victims, inst)
+						}
+					}
+					for _, inst := range victims {
+						inst.terminate(now)
+						dc.faultCounters.Preemptions++
+					}
 				}
 			}
 		}
@@ -235,6 +270,9 @@ func ProbeContention(prober *Instance) (int, error) {
 		return 0, fmt.Errorf("faas: probe from terminated instance %s", prober.id)
 	}
 	h := prober.host
+	if h.ProbeFault() {
+		return 0, fmt.Errorf("faas: contention probe from %s: %w", prober.id, ErrProbeFault)
+	}
 	now := h.dc.platform.sched.Now()
 	units := 0
 	for inst := range h.instances {
@@ -344,6 +382,7 @@ func ContentionRoundOnInto(res Resource, parts []*Instance, out []int) ([]int, e
 			h.mark = mark
 			h.roundCount = 0
 			h.roundBG = -1
+			h.updateMisfire()
 		}
 		h.roundCount++
 	}
@@ -363,7 +402,15 @@ func ContentionRoundOnInto(res Resource, parts []*Instance, out []int) ([]int, e
 				h.roundBG = 1
 			}
 		}
-		out[i] = h.roundCount + int(h.roundBG)
+		units := h.roundCount + int(h.roundBG)
+		// An active misfire episode corrupts the observation: a phantom
+		// contention unit (false positive) or a dead read (false negative).
+		if h.misfireBias > 0 {
+			units++
+		} else if h.misfireBias < 0 {
+			units = 0
+		}
+		out[i] = units
 	}
 	return out, nil
 }

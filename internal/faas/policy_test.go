@@ -1,6 +1,7 @@
 package faas
 
 import (
+	"errors"
 	"testing"
 	"time"
 )
@@ -204,6 +205,57 @@ func TestQuotaExhaustionLeavesNoPartialBatch(t *testing.T) {
 	}
 	if len(insts) != 51 {
 		t.Fatalf("matured launch placed %d of 51", len(insts))
+	}
+}
+
+// Like quota exhaustion, an injected launch fault — whether an up-front
+// rejection or a mid-batch abort after some instances were already placed —
+// must be all-or-nothing: no instances left behind, no idle warm capacity
+// created, and not a cent billed. The high failure rate makes both fault
+// flavors fire within the loop.
+func TestLaunchFaultLeavesNoPartialState(t *testing.T) {
+	p := testProfile()
+	p.Faults = FaultPlan{LaunchFailureRate: 0.5}
+	pl := MustPlatform(7, p)
+	dc := pl.MustRegion(p.Name)
+	acct := dc.Account("a1")
+	acct.Mature()
+	svc := acct.DeployService("s", ServiceConfig{})
+	failures := 0
+	for round := 0; round < 40; round++ {
+		before := acct.Bill()
+		beforeInsts := len(svc.Instances())
+		beforeIdle := svc.IdleCount()
+		insts, err := svc.Launch(30)
+		if err != nil {
+			if !errors.Is(err, ErrLaunchFault) {
+				t.Fatalf("round %d: unexpected launch error: %v", round, err)
+			}
+			failures++
+			after := acct.Bill()
+			if after != before {
+				t.Fatalf("round %d: failed launch changed the bill:\n  before %+v\n  after  %+v", round, before, after)
+			}
+			if got := len(svc.Instances()); got != beforeInsts {
+				t.Fatalf("round %d: failed launch left %d instances behind", round, got-beforeInsts)
+			}
+			if got := svc.IdleCount(); got != beforeIdle {
+				t.Fatalf("round %d: failed launch changed idle capacity: %d -> %d", round, beforeIdle, got)
+			}
+		} else {
+			if len(insts) != 30 {
+				t.Fatalf("round %d: successful launch placed %d of 30", round, len(insts))
+			}
+			svc.Disconnect()
+		}
+		dc.Scheduler().Advance(5 * time.Minute)
+	}
+	fc := dc.FaultCounters()
+	if failures == 0 || fc.LaunchRejections == 0 || fc.LaunchAborts == 0 {
+		t.Fatalf("rate-0.5 run exercised too little: %d failures, counters %+v", failures, fc)
+	}
+	if fc.InstancesRolledBack == 0 {
+		t.Error("mid-batch aborts fired but rolled no instances back")
 	}
 }
 

@@ -155,6 +155,12 @@ type RegionProfile struct {
 	// RandomPlacement bool is set).
 	Policy PlacementPolicy
 
+	// Faults configures the region's injected-failure plane (launch
+	// rejections, preemption, covert-channel misfires, probe failures). The
+	// zero value disables every fault and leaves the simulation
+	// byte-identical to a fault-free build; see FaultPlan.
+	Faults FaultPlan
+
 	// legacyRandomPlacement remembers that normalize folded the deprecated
 	// RandomPlacement bool into Policy, so the trace hook can emit a one-shot
 	// deprecation event (TraceDeprecated) when a tracer attaches.
@@ -209,7 +215,7 @@ func (p RegionProfile) Validate() error {
 	case p.MaxInstancesPerService <= 0:
 		return fmt.Errorf("faas: %s: MaxInstancesPerService must be positive", p.Name)
 	}
-	return nil
+	return p.Faults.Validate()
 }
 
 // baseProfile holds the parameters shared by all three default regions.

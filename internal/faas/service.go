@@ -140,12 +140,31 @@ func (s *Service) Launch(n int) ([]*Instance, error) {
 		return nil, fmt.Errorf("faas: %d instances exceeds the per-service quota of %d",
 			n, q)
 	}
-	now := s.account.dc.platform.sched.Now()
+	dc := s.account.dc
+	now := dc.platform.sched.Now()
+
+	// Fault plane: a transient platform failure either rejects the launch
+	// up front (quota-throttle style, nothing happened) or aborts it
+	// mid-batch after placement — the mid-batch path then rolls every
+	// partially created instance back, so a failed launch never leaves
+	// partial state or partial billing behind.
+	abort := false
+	if r := dc.faults.LaunchFailureRate; r > 0 && dc.launchFaultRNG.Bool(r) {
+		if dc.launchFaultRNG.Bool(0.5) {
+			abort = true
+		} else {
+			dc.faultCounters.LaunchRejections++
+			return nil, fmt.Errorf("faas: %s/%s launch rejected: %w",
+				s.account.id, s.name, ErrLaunchFault)
+		}
+	}
 
 	// Demand bookkeeping: a launch arriving within the demand window of the
 	// previous one marks the service as increasingly hot; otherwise the
 	// service has gone cold and the policy reacts (dynamic regions resample
-	// part of the base pool here).
+	// part of the base pool here). A mid-batch abort still counts as
+	// observed demand — the load balancer processed the request before the
+	// failure.
 	if s.hasLaunched && now.Sub(s.lastLaunch) <= p.DemandWindow {
 		s.hotStreak++
 	} else {
@@ -157,11 +176,12 @@ func (s *Service) Launch(n int) ([]*Instance, error) {
 	}
 	s.hasLaunched = true
 	s.lastLaunch = now
-	s.account.bill.Launches++
 
 	// Reuse whatever is already running: active instances count as-is, idle
-	// ones are reconnected warm.
+	// ones are reconnected warm. Warm reuses are tracked only on the abort
+	// path, where they must be returned to idle.
 	connected := make([]*Instance, 0, n)
+	var rewarmed []*Instance
 	for _, inst := range s.insts {
 		if len(connected) == n {
 			break
@@ -174,16 +194,40 @@ func (s *Service) Launch(n int) ([]*Instance, error) {
 			connected = append(connected, inst)
 		case StateIdle:
 			inst.activate(now)
+			if abort {
+				rewarmed = append(rewarmed, inst)
+			}
 			connected = append(connected, inst)
 		}
 	}
 
 	// Create the remainder through the placement policy.
 	need := n - len(connected)
+	var created []*Instance
 	if need > 0 {
-		created := s.placeNew(need, now)
+		created = s.placeNew(need, now)
 		connected = append(connected, created...)
 	}
+
+	if abort {
+		// Roll back: terminate everything this launch created (they accrued
+		// no billable time and fire no SIGTERM — no callback is registered
+		// yet) and return warm reuses to idle with their original reaper
+		// timers intact. Billing shows no trace of the rolled-back
+		// instances; the success-only counters below are never reached.
+		for _, inst := range created {
+			inst.terminate(now)
+			s.account.bill.Instances--
+		}
+		for _, inst := range rewarmed {
+			inst.goIdle(now)
+		}
+		dc.faultCounters.LaunchAborts++
+		dc.faultCounters.InstancesRolledBack += len(created)
+		return nil, fmt.Errorf("faas: %s/%s launch aborted mid-batch: %w",
+			s.account.id, s.name, ErrLaunchFault)
+	}
+	s.account.bill.Launches++
 
 	// Image-locality accounting for this launch: which hosts serve it, and
 	// how many of them are running the service for the first time. An epoch

@@ -52,6 +52,11 @@ func (g Gen) String() string {
 // ErrNotVirtualized is returned when a Gen 2-only facility is used in Gen 1.
 var ErrNotVirtualized = errors.New("sandbox: guest kernel TSC frequency is only readable in the Gen 2 (VM) environment")
 
+// ErrProbeFault is returned when a measurement probe fails for a transient
+// host-side reason (the platform's fault plane). Probing again later may
+// succeed; robust attack tooling matches it with errors.Is and retries.
+var ErrProbeFault = errors.New("sandbox: measurement probe failed")
+
 // HostEnv is the host-side state a sandbox mediates access to. The faas
 // simulator's Host implements it.
 type HostEnv interface {
@@ -70,6 +75,11 @@ type HostEnv interface {
 	NoiseRNG() *randx.Source
 	// Mitigations returns the TSC-masking defenses active on this host.
 	Mitigations() Mitigations
+	// ProbeFault reports whether a measurement probe taken at this instant
+	// fails transiently (the platform's fault plane). Implementations must
+	// return false — and consume no randomness — when fault injection is
+	// off.
+	ProbeFault() bool
 }
 
 // Guest is a sandboxed program's view of its host.
@@ -117,6 +127,12 @@ func NewGuest(env HostEnv, gen Gen) *Guest {
 
 // Gen returns the execution environment generation.
 func (g *Guest) Gen() Gen { return g.gen }
+
+// ProbeFault reports whether a measurement probe attempted right now fails
+// transiently. Fingerprint collectors consult it once per probe; callers
+// that see ErrProbeFault may retry — failures are transient, not a property
+// of the host.
+func (g *Guest) ProbeFault() bool { return g.env.ProbeFault() }
 
 // CPUModelName returns the brand string as read through cpuid. Both
 // environments expose it: gVisor does not intercept cpuid, and the Gen 2

@@ -13,13 +13,14 @@ import (
 
 // fakeEnv is a minimal HostEnv for testing the guest views.
 type fakeEnv struct {
-	now     simtime.Time
-	counter tsc.Counter
-	noise   tsc.NoiseProfile
-	model   cpu.Model
-	refined float64
-	rng     *randx.Source
-	mits    Mitigations
+	now        simtime.Time
+	counter    tsc.Counter
+	noise      tsc.NoiseProfile
+	model      cpu.Model
+	refined    float64
+	rng        *randx.Source
+	mits       Mitigations
+	probeFault bool
 }
 
 func (f *fakeEnv) Now() simtime.Time        { return f.now }
@@ -29,6 +30,7 @@ func (f *fakeEnv) Model() cpu.Model         { return f.model }
 func (f *fakeEnv) RefinedTSCHz() float64    { return f.refined }
 func (f *fakeEnv) NoiseRNG() *randx.Source  { return f.rng }
 func (f *fakeEnv) Mitigations() Mitigations { return f.mits }
+func (f *fakeEnv) ProbeFault() bool         { return f.probeFault }
 
 func newFakeEnv() *fakeEnv {
 	return &fakeEnv{
