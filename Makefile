@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check lint race bench bench-json bench-diff run-all
+.PHONY: check lint race bench bench-scale bench-json bench-diff run-all
 
 # Tier-1 gate: lint (gofmt + vet), build, test, a race pass over the fault
-# plane and its attack-side recovery paths, a quick fault-sweep smoke run,
-# and a smoke run of the benchmark record tooling against the checked-in
-# fixture.
-check: lint
+# plane and its attack-side recovery paths, quick fault-sweep and event-kernel
+# smoke runs, and a smoke run of the benchmark record tooling against the
+# checked-in fixture.
+check: lint bench-scale
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/core/... ./internal/faas/...
@@ -34,6 +34,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Event-kernel throughput smoke: one iteration of the scale benchmark, so the
+# tier-1 gate notices if the kernel's events/sec or allocs/event fall off a
+# cliff (the BENCH_*.json trajectory records the exact numbers).
+bench-scale:
+	@$(GO) test -run '^$$' -bench BenchmarkScaleKernel -benchtime 1x -benchmem
+	@echo "scale kernel smoke OK"
 
 # Snapshot the benchmark suite into BENCH_<git-short-sha>.json. Run on a
 # quiet machine; the record is meant to be checked in.

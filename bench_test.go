@@ -134,6 +134,26 @@ func BenchmarkReattack(b *testing.B) {
 	runArtifact(b, "reattack", "focus_effort", "reattack_focused_coverage")
 }
 
+// BenchmarkScaleKernel drives the lifecycle-kernel stress experiment (at
+// Quick scale, like every bench) and reports the kernel's throughput
+// trajectory: scheduler events per wall second and heap allocations per
+// event, plus the deterministic event and peak-live counts they normalize.
+func BenchmarkScaleKernel(b *testing.B) {
+	b.ReportAllocs()
+	var res *ExperimentResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = RunExperiment("scale", benchCtx())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Metrics["runtime_events_per_sec"], "events/sec")
+	b.ReportMetric(res.Metrics["runtime_allocs_per_event"], "allocs/event")
+	b.ReportMetric(res.Metrics["events_executed"], "events")
+	b.ReportMetric(res.Metrics["peak_live_instances"], "peak-live")
+}
+
 // --- ablations ------------------------------------------------------------
 
 // benchWorld launches n instances in a small single-region world.

@@ -41,6 +41,11 @@ type Context struct {
 	// plane. The faultsweep experiment ignores this and sweeps its own
 	// plans.
 	Faults faas.FaultPlan
+	// LegacySweeps runs every region on the frozen pre-event-kernel
+	// lifecycle implementation (hourly churn/preemption scans, launch-time
+	// demand-decay detection). Only the legacy golden-digest test sets it:
+	// it proves the historical behavior is still reachable byte for byte.
+	LegacySweeps bool
 }
 
 // jobs resolves the effective worker count.
@@ -145,6 +150,7 @@ func init() {
 		{ID: "policyablation", Title: "Attack outcome under swappable placement policies", PaperRef: "§5.2 + §6, DESIGN.md §2", Run: runPolicyAblation},
 		{ID: "strategyablation", Title: "Coverage vs cost under swappable launch strategies", PaperRef: "§5.2, DESIGN.md attack layer", Run: runStrategyAblation},
 		{ID: "faultsweep", Title: "Coverage and cost vs injected fault rate", PaperRef: "§4.1 measurement conditions, DESIGN.md fault plane", Run: runFaultSweep},
+		{ID: "scale", Title: "Event-kernel throughput at fleet scale", PaperRef: "DESIGN.md event kernel; §5.2 scale context", Run: runScale},
 	}
 }
 
@@ -195,6 +201,11 @@ func (c Context) profiles() []faas.RegionProfile {
 	if c.Faults.Enabled() {
 		for i := range profs {
 			profs[i].Faults = c.Faults
+		}
+	}
+	if c.LegacySweeps {
+		for i := range profs {
+			profs[i].LegacySweeps = true
 		}
 	}
 	return profs

@@ -25,7 +25,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"fig11a", "fig11b", "fig12", "table1", "freq", "verifycost", "gen2",
 		"naive", "cost", "gen2cov", "mitigation", "extraction", "reattack", "ablations",
-		"policyablation", "strategyablation", "faultsweep"}
+		"policyablation", "strategyablation", "faultsweep", "scale"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))

@@ -59,28 +59,33 @@ func (s *Service) autoscaleTick(now simtime.Time) {
 		return
 	}
 	target := s.desiredInstances()
-	active := len(s.ActiveInstances())
+	active := s.activeCount
 	switch {
 	case target > active:
 		// Scale out through the regular launch path so demand bookkeeping
 		// (hot streaks, helper unlocking) behaves identically to Launch.
+		// Launch(target) is scale-to-target, not create-target: the `active`
+		// connected instances are reused as-is and only the shortfall
+		// target-active is created (TestAutoscaleLaunchesShortfallOnly pins
+		// this), so a converged service creates nothing here.
 		if _, err := s.Launch(target); err != nil {
-			// Quota exhaustion: serve what we can at the cap.
-			if q := s.account.Quota(); target > q {
+			// Quota exhaustion: serve what we can at the cap. Scaling to the
+			// quota q creates at most the capped shortfall q-active; when the
+			// failure was not the quota (a fault-plane rejection), target ≤ q
+			// and this tick simply skips — the next one retries.
+			if q := s.account.Quota(); target > q && q > active {
 				_, _ = s.Launch(q)
 			}
 		}
 	case target < active:
 		s.scaleIn(active - target)
 	}
-	if s.demand == 0 && len(s.ActiveInstances()) == 0 {
+	if s.demand == 0 && s.activeCount == 0 {
 		// Nothing to manage until demand returns.
 		s.autoscaling = false
 		return
 	}
-	s.account.dc.platform.sched.After(autoscaleInterval, func(t simtime.Time) {
-		s.autoscaleTick(t)
-	})
+	s.account.dc.platform.sched.ArmHandlerAfter(&s.tickEvent, autoscaleInterval, s)
 }
 
 // scaleIn idles the n most recently created active instances (LIFO: the

@@ -1,6 +1,7 @@
 package faas
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -140,5 +141,105 @@ func TestAutoscaleSurgesUseHelperHosts(t *testing.T) {
 	if len(footprint) <= base {
 		t.Errorf("surging demand stayed on %d hosts (base pool %d); helper behavior missing",
 			len(footprint), base)
+	}
+}
+
+// TestAutoscaleLaunchesShortfallOnly is the overshoot regression test: a
+// demand step from 4 to 5 with 4 instances already connected must create
+// exactly one new instance. Launch(target) is scale-to-target — active
+// instances count toward the target as-is — so the autoscaler never launches
+// the full target on top of the existing pool.
+func TestAutoscaleLaunchesShortfallOnly(t *testing.T) {
+	dc := newTestDC(t, 57)
+	acct := dc.Account("a")
+	svc := acct.DeployService("api", ServiceConfig{MaxConcurrency: 1})
+	if err := svc.SetDemand(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.ActiveCount(); got != 4 {
+		t.Fatalf("active = %d, want 4", got)
+	}
+	created := acct.Bill().Instances
+	if created != 4 {
+		t.Fatalf("created = %d, want 4", created)
+	}
+	if err := svc.SetDemand(5); err != nil {
+		t.Fatal(err)
+	}
+	dc.Scheduler().Advance(16 * time.Second) // one tick
+	if got := svc.ActiveCount(); got != 5 {
+		t.Fatalf("active = %d after demand step, want 5", got)
+	}
+	if delta := acct.Bill().Instances - created; delta != 1 {
+		t.Fatalf("demand step 4→5 created %d instances, want exactly 1", delta)
+	}
+}
+
+// TestAutoscaleQuotaFallbackCreatesNothingAtCap: once the quota fallback has
+// scaled a fresh account's service to its cap, later ticks with demand still
+// above quota must not create (or re-create) anything — the fallback's
+// effective batch is min(quota, target) - active, which is zero at the cap.
+func TestAutoscaleQuotaFallbackCreatesNothingAtCap(t *testing.T) {
+	p := testProfile()
+	p.NewAccountQuota = 8
+	pl := MustPlatform(58, p)
+	dc := pl.MustRegion("test-region")
+	acct := dc.Account("fresh")
+	svc := acct.DeployService("api", ServiceConfig{MaxConcurrency: 1})
+	if err := svc.SetDemand(100); err != nil {
+		t.Fatal(err)
+	}
+	dc.Scheduler().Advance(time.Minute)
+	if got := svc.ActiveCount(); got != 8 {
+		t.Fatalf("active = %d, want the quota cap of 8", got)
+	}
+	created := acct.Bill().Instances
+	launches := acct.Bill().Launches
+	dc.Scheduler().Advance(5 * time.Minute) // 20 more ticks at the cap
+	if delta := acct.Bill().Instances - created; delta != 0 {
+		t.Errorf("ticks at the quota cap created %d instances", delta)
+	}
+	if delta := acct.Bill().Launches - launches; delta != 0 {
+		t.Errorf("ticks at the quota cap issued %d pointless launches", delta)
+	}
+}
+
+// TestLaunchTotalsNeverExceedQuota pins the quota semantics satellite:
+// because Launch(n) is scale-to-n, bounding n bounds the live footprint —
+// no sequence of launches, disconnects and partial reaps can push the
+// service's live (active + idle) instance total past the per-service quota.
+func TestLaunchTotalsNeverExceedQuota(t *testing.T) {
+	p := testProfile()
+	p.NewAccountQuota = 8
+	pl := MustPlatform(59, p)
+	dc := pl.MustRegion("test-region")
+	svc := dc.Account("fresh").DeployService("api", ServiceConfig{})
+
+	if _, err := svc.Launch(9); err == nil {
+		t.Fatal("Launch(9) above the quota of 8 succeeded")
+	} else if want := "per-service quota of 8"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("quota error %q does not state the quota (%q)", err, want)
+	}
+
+	checkTotal := func(stage string) {
+		t.Helper()
+		if live := len(svc.Instances()); live > 8 {
+			t.Fatalf("%s: %d live instances exceed the quota of 8", stage, live)
+		}
+	}
+	for cycle := 0; cycle < 4; cycle++ {
+		if _, err := svc.Launch(6); err != nil {
+			t.Fatal(err)
+		}
+		checkTotal("launch 6")
+		svc.Disconnect()
+		checkTotal("disconnect")
+		dc.Scheduler().Advance(4 * time.Minute) // partial reap: some idles linger
+		if _, err := svc.Launch(8); err != nil {
+			t.Fatal(err)
+		}
+		checkTotal("relaunch 8 over idles")
+		dc.Scheduler().Advance(7 * time.Minute)
+		checkTotal("settle")
 	}
 }

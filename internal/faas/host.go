@@ -18,9 +18,20 @@ import (
 type HostID int
 
 // Host is one physical machine in a data center.
+//
+// Hosts are materialized lazily: construction fills only the identity fields
+// placement ranking reads (id, desirability, group), and the heavy state —
+// CPU model, TSC counter, noise character, per-host RNG streams, the
+// instance map — is drawn on first contact (an instance attaching, or a
+// HostEnv accessor). Because every heavy field comes from the host's own
+// derived stream ("host", i), the moment of materialization cannot change
+// what the host becomes, so a fleet where only 5% of hosts ever serve an
+// instance pays 5% of the construction cost with identical outcomes.
 type Host struct {
-	id      HostID
-	dc      *DataCenter
+	id HostID
+	dc *DataCenter
+	// ready flags that the heavy state below has been drawn (materialize).
+	ready   bool
 	model   cpu.Model
 	counter tsc.Counter
 	noise   tsc.NoiseProfile
@@ -61,35 +72,46 @@ type Host struct {
 	misfireCheckAt simtime.Time
 }
 
-// newHost builds host i of a data center, drawing its model, boot time, TSC
-// and noise character from the DC's deterministic sub-streams.
-func newHost(dc *DataCenter, i int, bootTimes []simtime.Time) *Host {
-	rng := dc.rng.Derive("host", fmt.Sprint(i))
-	model := cpu.Catalog[rng.WeightedIndex(cpu.DefaultFleetWeights)]
-	counter := tsc.NewCounter(rng, bootTimes[i], model.ReportedTSCHz())
+// initHostShell fills host i's identity fields — everything placement ranking
+// and base-pool assignment read. Shells draw no randomness; heavy state waits
+// for materialize.
+func initHostShell(h *Host, dc *DataCenter, i int) {
+	h.id = HostID(i)
+	h.dc = dc
+	h.desirability = float64(i%dc.profile.NumHosts) / float64(dc.profile.NumHosts)
+	h.group = i % dc.profile.PlacementGroups
+}
 
-	noise := tsc.DefaultNoise()
+// materialize draws the host's heavy state from its own deterministic
+// sub-stream ("host", i): CPU model, boot-anchored TSC, noise character, the
+// kernel's frequency refinement, the per-host noise RNG, and the resident-
+// instance map. The draw order inside the stream is frozen (it predates lazy
+// materialization), and the stream is independent of every other host's, so
+// materializing hosts in any order — or never — yields identical worlds.
+func (h *Host) materialize() {
+	if h.ready {
+		return
+	}
+	h.ready = true
+	dc := h.dc
+	dc.liveHosts++
+	i := int(h.id)
+	rng := dc.rng.Derive("host", fmt.Sprint(i))
+	h.model = cpu.Catalog[rng.WeightedIndex(cpu.DefaultFleetWeights)]
+	h.counter = tsc.NewCounter(rng, dc.bootTimes[i], h.model.ReportedTSCHz())
+
+	h.noise = tsc.DefaultNoise()
 	if rng.Bool(dc.profile.ProblematicHostFrac) {
-		noise = tsc.ProblematicNoise(rng.Derive("problematic"))
+		h.noise = tsc.ProblematicNoise(rng.Derive("problematic"))
 	}
 
 	// Linux refines the TSC frequency once at boot to 1 kHz precision; the
 	// refinement lands within a few hundred Hz of the true rate.
 	refineErr := rng.Normal(0, 150)
-	refined := math.Round((float64(counter.ActualHz)+refineErr)/1000) * 1000
+	h.refinedHz = math.Round((float64(h.counter.ActualHz)+refineErr)/1000) * 1000
 
-	return &Host{
-		id:           HostID(i),
-		dc:           dc,
-		model:        model,
-		counter:      counter,
-		noise:        noise,
-		refinedHz:    refined,
-		desirability: float64(i%dc.profile.NumHosts) / float64(dc.profile.NumHosts),
-		group:        i % dc.profile.PlacementGroups,
-		noiseRNG:     rng.Derive("noise"),
-		instances:    make(map[*Instance]struct{}),
-	}
+	h.noiseRNG = rng.Derive("noise")
+	h.instances = make(map[*Instance]struct{})
 }
 
 // sampleBootTimes draws boot instants for n hosts: a mix of independent
@@ -132,19 +154,19 @@ func sampleBootTimes(rng *randx.Source, p RegionProfile, start simtime.Time) []s
 func (h *Host) ID() HostID { return h.id }
 
 // Model returns the host CPU model. It also satisfies sandbox.HostEnv.
-func (h *Host) Model() cpu.Model { return h.model }
+func (h *Host) Model() cpu.Model { h.materialize(); return h.model }
 
 // Counter returns the host TSC (sandbox.HostEnv).
-func (h *Host) Counter() tsc.Counter { return h.counter }
+func (h *Host) Counter() tsc.Counter { h.materialize(); return h.counter }
 
 // Noise returns the host's measurement-noise profile (sandbox.HostEnv).
-func (h *Host) Noise() tsc.NoiseProfile { return h.noise }
+func (h *Host) Noise() tsc.NoiseProfile { h.materialize(); return h.noise }
 
 // RefinedTSCHz returns the kernel-refined TSC frequency (sandbox.HostEnv).
-func (h *Host) RefinedTSCHz() float64 { return h.refinedHz }
+func (h *Host) RefinedTSCHz() float64 { h.materialize(); return h.refinedHz }
 
 // NoiseRNG returns the host's noise stream (sandbox.HostEnv).
-func (h *Host) NoiseRNG() *randx.Source { return h.noiseRNG }
+func (h *Host) NoiseRNG() *randx.Source { h.materialize(); return h.noiseRNG }
 
 // Mitigations returns the region's TSC defenses (sandbox.HostEnv).
 func (h *Host) Mitigations() sandbox.Mitigations { return h.dc.profile.Mitigations }
@@ -191,8 +213,10 @@ func (h *Host) updateMisfire() {
 	}
 }
 
-// BootTime returns the host's true boot instant (ground truth).
-func (h *Host) BootTime() simtime.Time { return h.counter.Boot }
+// BootTime returns the host's true boot instant (ground truth). Boot times
+// are sampled eagerly for the whole fleet (they come from one shared stream),
+// so reading one does not materialize the host.
+func (h *Host) BootTime() simtime.Time { return h.dc.bootTimes[h.id] }
 
 // ResidentCount returns how many non-terminated instances live on the host.
 func (h *Host) ResidentCount() int { return len(h.instances) }
@@ -208,8 +232,11 @@ func (h *Host) residentOf(svc *Service) int {
 	return n
 }
 
-// attach registers an instance on the host.
-func (h *Host) attach(inst *Instance) { h.instances[inst] = struct{}{} }
+// attach registers an instance on the host, materializing it on first use.
+func (h *Host) attach(inst *Instance) {
+	h.materialize()
+	h.instances[inst] = struct{}{}
+}
 
 // detach removes an instance from the host.
 func (h *Host) detach(inst *Instance) { delete(h.instances, inst) }

@@ -45,6 +45,18 @@ type Instance struct {
 	// slot is this instance's index in service.insts, maintained on append
 	// and compaction so removal never scans or shifts the list.
 	slot int
+	// seq is the instance's creation ordinal within its data center; together
+	// with lifeDraws it addresses the instance's stateless lifecycle-event
+	// stream (kernel.go) without per-instance generator state. lifeEvent is
+	// the intrusive churn/preemption timer, leased from the data center's
+	// event pool on first arm and returned at termination; it fires through
+	// the Instance's simtime.Handler implementation. Keeping the timer pooled
+	// (and the stream cursors narrow) keeps the per-instance allocation
+	// footprint at the pre-kernel size — instance creation is the simulator's
+	// hottest allocation site.
+	seq       uint32
+	lifeDraws uint32
+	lifeEvent *simtime.Event
 
 	createdAt simtime.Time
 	// readyAt is when the container finished starting and can serve its
@@ -146,7 +158,9 @@ func (i *Instance) terminate(now simtime.Time) {
 	}
 	if i.state == StateActive {
 		i.service.account.accrue(i, i.activeSince, now)
+		i.service.activeCount--
 	}
+	i.service.account.dc.cancelLifecycle(i)
 	wasIdle := i.state == StateIdle
 	i.state = StateTerminated
 	i.host.detach(i)
@@ -173,6 +187,7 @@ func (i *Instance) goIdle(now simtime.Time) {
 		return
 	}
 	i.service.account.accrue(i, i.activeSince, now)
+	i.service.activeCount--
 	i.state = StateIdle
 	i.idleSince = now
 }
@@ -183,5 +198,7 @@ func (i *Instance) activate(now simtime.Time) {
 		return
 	}
 	i.state = StateActive
+	i.service.activeCount++
 	i.activeSince = now
+	i.service.account.dc.resumeLifecycle(i, now)
 }

@@ -161,6 +161,18 @@ type RegionProfile struct {
 	// byte-identical to a fault-free build; see FaultPlan.
 	Faults FaultPlan
 
+	// LegacySweeps restores the pre-event-kernel lifecycle implementation:
+	// the hourly churn/preemption sweep that scans every instance of the
+	// region (scheduleChurnSweep) and lazy demand-decay detection at the next
+	// launch. The legacy path is frozen — it exists so the golden-digest test
+	// can prove it still reproduces the historical behavior byte for byte —
+	// and costs O(instances) per simulated hour; leave it false everywhere
+	// else. The default (false) runs the per-instance event kernel, which
+	// additionally guarantees a freshly created instance one full
+	// lifecycleInterval of immunity before its first churn/preemption draw
+	// (the sweep could preempt a replacement in the same sweep it was born).
+	LegacySweeps bool
+
 	// legacyRandomPlacement remembers that normalize folded the deprecated
 	// RandomPlacement bool into Policy, so the trace hook can emit a one-shot
 	// deprecation event (TraceDeprecated) when a tracer attaches.

@@ -37,11 +37,22 @@ type Service struct {
 	hasLaunched bool
 	lastLaunch  simtime.Time
 	hotStreak   int
+	// decayEvent is the intrusive demand-decay timer (pending while a cold
+	// transition is scheduled at lastLaunch + window); every launch cancels
+	// and re-arms it. Both it and tickEvent fire through the Service's
+	// simtime.Handler implementation, which tells them apart by address.
+	decayEvent simtime.Event
 
-	// Request-driven autoscaling (§2.2).
+	// Request-driven autoscaling (§2.2). activeCount mirrors the number of
+	// StateActive instances incrementally (created/activated minus
+	// idled/terminated) so the 15-second autoscale tick is O(1) instead of an
+	// O(instances) scan. tickEvent is the intrusive self-rescheduling tick
+	// timer.
 	maxConcurrency int
 	demand         int
 	autoscaling    bool
+	activeCount    int
+	tickEvent      simtime.Event
 
 	// Image-locality accounting: hosts that have ever run this service
 	// (indexed by HostID — host ids are dense indexes into dc.hosts), plus
@@ -115,6 +126,10 @@ func (s *Service) ActiveInstances() []*Instance {
 	return out
 }
 
+// ActiveCount returns the number of connected instances. It is maintained
+// incrementally, so it is O(1) where len(ActiveInstances()) is O(instances).
+func (s *Service) ActiveCount() int { return s.activeCount }
+
 // IdleCount returns the number of idle instances.
 func (s *Service) IdleCount() int {
 	n := 0
@@ -128,17 +143,26 @@ func (s *Service) IdleCount() int {
 
 // Launch scales the service out to n concurrently connected instances
 // (modeling n held connections, e.g. WebSockets, with one connection per
-// instance as in the paper's setup). Idle instances are reused warm first;
-// the orchestrator places the remainder according to the demand-dependent
-// policy. It returns the n connected instances.
+// instance as in the paper's setup). n is the total connection target, not a
+// batch of additions: already-active instances count toward it as-is, idle
+// instances are reused warm next, and only the remaining shortfall is created
+// through the demand-dependent placement policy. It returns the n connected
+// instances.
+//
+// Quota: because n is a total, bounding n by the per-service quota bounds the
+// service's entire live footprint — idle instances only exist as leftovers of
+// an earlier in-quota target, and new instances are only created after every
+// idle one has been consumed, so no sequence of launches can push the live
+// (active + idle) count past the quota. TestLaunchTotalsNeverExceedQuota pins
+// this invariant.
 func (s *Service) Launch(n int) ([]*Instance, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("faas: launch of %d instances", n)
 	}
 	p := s.account.dc.profile
 	if q := s.account.Quota(); n > q {
-		return nil, fmt.Errorf("faas: %d instances exceeds the per-service quota of %d",
-			n, q)
+		return nil, fmt.Errorf("faas: scaling %s/%s to %d instances exceeds its per-service quota of %d",
+			s.account.id, s.name, n, q)
 	}
 	dc := s.account.dc
 	now := dc.platform.sched.Now()
@@ -161,21 +185,26 @@ func (s *Service) Launch(n int) ([]*Instance, error) {
 
 	// Demand bookkeeping: a launch arriving within the demand window of the
 	// previous one marks the service as increasingly hot; otherwise the
-	// service has gone cold and the policy reacts (dynamic regions resample
-	// part of the base pool here). A mid-batch abort still counts as
+	// service is cold and the policy reacts (dynamic regions resample part of
+	// the base pool here). Under the event kernel, going cold is detected by
+	// the decay timer each launch arms (demandDecay fires at window expiry,
+	// whether or not another launch ever arrives); a launch therefore only
+	// decays directly when it is the service's first, or when the legacy
+	// profile keeps the historical launch-time detection, or in the corner
+	// case where the timer is due at this very instant but ordered after the
+	// event that issued this launch. A mid-batch abort still counts as
 	// observed demand — the load balancer processed the request before the
 	// failure.
 	if s.hasLaunched && now.Sub(s.lastLaunch) <= p.DemandWindow {
 		s.hotStreak++
-	} else {
-		s.hotStreak = 0
-		s.account.dc.policy.OnDemandDecay(s, now)
-		s.account.dc.trace(PlacementEvent{
-			Account: s.account.id, Service: s.name, Kind: TraceDemandDecay,
-		})
+	} else if !s.hasLaunched || p.LegacySweeps || s.decayEvent.Pending() {
+		s.demandDecay(now)
 	}
 	s.hasLaunched = true
 	s.lastLaunch = now
+	if !p.LegacySweeps {
+		s.scheduleDemandDecay(now)
+	}
 
 	// Reuse whatever is already running: active instances count as-is, idle
 	// ones are reconnected warm. Warm reuses are tracked only on the abort
@@ -248,6 +277,41 @@ func (s *Service) Launch(n int) ([]*Instance, error) {
 	return connected, nil
 }
 
+// demandDecay marks the service cold: the hot streak resets and the policy
+// reacts (dynamic regions resample part of the account's base pool). Any
+// pending decay timer is disarmed — decay happens exactly once per cold
+// transition.
+func (s *Service) demandDecay(now simtime.Time) {
+	s.account.dc.platform.sched.Cancel(&s.decayEvent)
+	s.hotStreak = 0
+	s.account.dc.policy.OnDemandDecay(s, now)
+	s.account.dc.trace(PlacementEvent{
+		Account: s.account.id, Service: s.name, Kind: TraceDemandDecay,
+	})
+}
+
+// scheduleDemandDecay arms the service's cold-transition timer: unless a
+// further launch arrives within the demand window (cancelling and re-arming
+// the timer), the service decays the instant the window closes. The +1ns
+// keeps the boundary semantics of the legacy launch-time check, where a
+// launch exactly DemandWindow after the previous one still counted as hot.
+func (s *Service) scheduleDemandDecay(now simtime.Time) {
+	sched := s.account.dc.platform.sched
+	sched.Cancel(&s.decayEvent)
+	sched.ArmHandler(&s.decayEvent, now.Add(s.account.dc.profile.DemandWindow+1), s)
+}
+
+// HandleEvent dispatches the service's intrusive timers (the Service is the
+// simtime.Handler for both its demand-decay and autoscale-tick events).
+func (s *Service) HandleEvent(e *simtime.Event, now simtime.Time) {
+	switch e {
+	case &s.decayEvent:
+		s.demandDecay(now)
+	case &s.tickEvent:
+		s.autoscaleTick(now)
+	}
+}
+
 // placeNew creates count new instances through the region's placement
 // policy, handing it the demand-window state and the service's placement
 // stream, and traces the resulting batch.
@@ -302,8 +366,9 @@ func logDur(d time.Duration) float64 { return math.Log(float64(d)) }
 
 // createInstance materializes a new active instance on the given host.
 func (s *Service) createInstance(h *Host, now simtime.Time) *Instance {
+	dc := s.account.dc
 	inst := &Instance{
-		id:          s.account.dc.nextInstanceID(s),
+		id:          dc.nextInstanceID(s),
 		service:     s,
 		host:        h,
 		state:       StateActive,
@@ -311,11 +376,14 @@ func (s *Service) createInstance(h *Host, now simtime.Time) *Instance {
 		readyAt:     now.Add(s.startupLatency(h)),
 		activeSince: now,
 	}
+	inst.seq = uint32(dc.nextInst)
 	inst.guest = sandbox.NewGuest(h, s.gen)
 	h.attach(inst)
 	inst.slot = len(s.insts)
 	s.insts = append(s.insts, inst)
+	s.activeCount++
 	s.account.bill.Instances++
+	dc.scheduleLifecycle(inst, now)
 	return inst
 }
 

@@ -133,6 +133,35 @@ func (s *Source) Sample(n, k int) []int {
 	return idx[:k]
 }
 
+// splitmixGamma is the golden-ratio increment of the SplitMix64 generator.
+const splitmixGamma = 0x9e3779b97f4a7c15
+
+// mix64 is the SplitMix64 finalizer: a fast, high-quality bijective mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Mix3 hashes three words into one well-distributed 64-bit value by chaining
+// the SplitMix64 finalizer with golden-ratio increments. It is stateless and
+// allocation-free: where Derive pays ~5 KB of generator state per stream,
+// Mix3 lets millions of fine-grained consumers (per-instance lifecycle
+// events) each own a logical stream addressed by (seed, identity, draw#).
+func Mix3(a, b, c uint64) uint64 {
+	x := mix64(a + splitmixGamma)
+	x = mix64(x + b + splitmixGamma)
+	x = mix64(x + c + splitmixGamma)
+	return x
+}
+
+// Unit maps a 64-bit value to a uniform float64 in [0, 1) using its top 53
+// bits, the standard conversion with full double precision.
+func Unit(x uint64) float64 { return float64(x>>11) / (1 << 53) }
+
 // WeightedIndex returns an index in [0, len(weights)) with probability
 // proportional to weights[i]. Zero-weight entries are never chosen. It panics
 // if weights is empty, contains a negative value, or sums to zero.

@@ -11,7 +11,6 @@
 package simtime
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -47,31 +46,122 @@ func FromSeconds(s float64) Time { return Time(s * 1e9) }
 // String renders t as the anchored wall-clock instant.
 func (t Time) String() string { return t.Real().Format(time.RFC3339Nano) }
 
-// event is a scheduled callback.
-type event struct {
+// Event is a scheduled callback, and the handle used to cancel it. Events
+// come in two flavours: Schedule allocates one per call (fire-and-forget),
+// while Arm inserts a caller-owned Event — typically embedded by value in the
+// owning object — so a timer that is re-armed over and over (the lifecycle
+// kernel's per-instance churn timers, the autoscaler's tick) costs zero
+// allocations per arm. A cancelled event is removed from the queue
+// immediately (O(log n)), so abandoned timers do not leak dead entries into
+// every subsequent heap operation.
+//
+// The zero Event is ready to Arm. An Event must not be armed again while it
+// is still pending (Cancel it first); it may be re-armed freely from inside
+// its own callback or after it fired.
+type Event struct {
 	at  Time
 	seq uint64 // insertion order; breaks ties deterministically
 	fn  func(Time)
+	h   Handler
+	pos int // heap index + 1; 0 = not queued (so the zero Event is idle)
 }
 
-type eventHeap []*event
+// Handler receives intrusive-event callbacks without any closure: storing a
+// pointer in an interface is allocation-free, where even a method value
+// costs one allocation. The fired Event is passed back so an owner with
+// several embedded events can tell them apart by address.
+type Handler interface {
+	HandleEvent(e *Event, now Time)
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+// Pending reports whether the event is currently queued.
+func (e *Event) Pending() bool { return e.pos != 0 }
+
+// eventHeap is a hand-rolled binary min-heap ordered by (at, seq). It is not
+// a container/heap.Interface on purpose: arming an event is the simulator's
+// hottest operation (once per created instance, once per autoscale tick) and
+// the stdlib's interface dispatch per sift comparison costs more than the
+// sift itself. Concrete methods inline.
+type eventHeap []*Event
+
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
+
+func (h eventHeap) swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].pos = i + 1
+	h[j].pos = j + 1
+}
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && h.less(right, left) {
+			least = right
+		}
+		if !h.less(least, i) {
+			return
+		}
+		h.swap(i, least)
+		i = least
+	}
+}
+
+// push inserts e and records its position.
+func (h *eventHeap) push(e *Event) {
+	*h = append(*h, e)
+	e.pos = len(*h)
+	h.up(len(*h) - 1)
+}
+
+// popMin removes and returns the earliest event.
+func (h *eventHeap) popMin() *Event {
 	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+	e := old[0]
+	n := len(old) - 1
+	old.swap(0, n)
+	old[n] = nil
+	e.pos = 0
+	*h = old[:n]
+	(*h).down(0)
 	return e
+}
+
+// remove deletes the event at heap index i (pos-1).
+func (h *eventHeap) remove(i int) {
+	old := *h
+	n := len(old) - 1
+	e := old[i]
+	if i != n {
+		old.swap(i, n)
+	}
+	old[n] = nil
+	e.pos = 0
+	*h = old[:n]
+	if i != n {
+		(*h).down(i)
+		(*h).up(i)
+	}
 }
 
 // Scheduler is a deterministic discrete-event scheduler. Events scheduled for
@@ -79,9 +169,10 @@ func (h *eventHeap) Pop() any {
 // safe for concurrent use; the simulator is single-threaded by design so runs
 // are reproducible.
 type Scheduler struct {
-	now    Time
-	nextID uint64
-	queue  eventHeap
+	now      Time
+	nextID   uint64
+	queue    eventHeap
+	executed uint64
 }
 
 // NewScheduler returns a scheduler positioned at the given start time.
@@ -95,24 +186,93 @@ func (s *Scheduler) Now() Time { return s.now }
 // At schedules fn to run at the absolute time at. Scheduling in the past
 // panics: it always indicates a simulator bug, and silently reordering events
 // would destroy determinism.
-func (s *Scheduler) At(at Time, fn func(Time)) {
+func (s *Scheduler) At(at Time, fn func(Time)) { s.Schedule(at, fn) }
+
+// Schedule is At returning the event as a cancellation handle.
+func (s *Scheduler) Schedule(at Time, fn func(Time)) *Event {
+	e := &Event{}
+	s.Arm(e, at, fn)
+	return e
+}
+
+// After schedules fn to run d after the current time.
+func (s *Scheduler) After(d time.Duration, fn func(Time)) { s.ScheduleAfter(d, fn) }
+
+// ScheduleAfter is After returning the event as a cancellation handle.
+func (s *Scheduler) ScheduleAfter(d time.Duration, fn func(Time)) *Event {
+	if d < 0 {
+		panic("simtime: negative delay")
+	}
+	return s.Schedule(s.now.Add(d), fn)
+}
+
+// Arm inserts a caller-owned event — zero allocations per arm. Arming an
+// event that is still pending panics: a caller juggling overlapping deadlines
+// for one event has a state bug, and silently dropping either deadline would
+// destroy determinism. Cancel it first to re-target.
+func (s *Scheduler) Arm(e *Event, at Time, fn func(Time)) {
+	s.arm(e, at)
+	e.fn = fn
+}
+
+// ArmAfter is Arm with a relative deadline.
+func (s *Scheduler) ArmAfter(e *Event, d time.Duration, fn func(Time)) {
+	if d < 0 {
+		panic("simtime: negative delay")
+	}
+	s.Arm(e, s.now.Add(d), fn)
+}
+
+// ArmHandler is Arm with an interface callback instead of a func — fully
+// allocation-free per arm (see Handler).
+func (s *Scheduler) ArmHandler(e *Event, at Time, h Handler) {
+	s.arm(e, at)
+	e.h = h
+}
+
+// ArmHandlerAfter is ArmHandler with a relative deadline.
+func (s *Scheduler) ArmHandlerAfter(e *Event, d time.Duration, h Handler) {
+	if d < 0 {
+		panic("simtime: negative delay")
+	}
+	s.ArmHandler(e, s.now.Add(d), h)
+}
+
+func (s *Scheduler) arm(e *Event, at Time) {
+	if e.pos != 0 {
+		panic("simtime: arming an event that is still pending")
+	}
 	if at < s.now {
 		panic(fmt.Sprintf("simtime: scheduling event at %v before now %v", at, s.now))
 	}
 	s.nextID++
-	heap.Push(&s.queue, &event{at: at, seq: s.nextID, fn: fn})
+	e.at, e.seq = at, s.nextID
+	s.queue.push(e)
 }
 
-// After schedules fn to run d after the current time.
-func (s *Scheduler) After(d time.Duration, fn func(Time)) {
-	if d < 0 {
-		panic("simtime: negative delay")
+// Cancel removes a pending event from the queue without running it. It
+// reports whether the event was still pending; cancelling an event that has
+// already fired (or was already cancelled) is a harmless no-op. Cancelled
+// events never run and do not count toward Executed. Cancellation cannot
+// affect the firing order of the remaining events — the queue is a total
+// order by (time, insertion seq) — so it is determinism-safe.
+func (s *Scheduler) Cancel(e *Event) bool {
+	if e == nil || e.pos == 0 {
+		return false
 	}
-	s.At(s.now.Add(d), fn)
+	s.queue.remove(e.pos - 1)
+	e.fn, e.h = nil, nil
+	return true
 }
 
 // Pending reports the number of queued events.
 func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Executed reports the total number of events run since construction. It is
+// the denominator of the event kernel's throughput metrics (events/sec,
+// allocs/event) and is monotonic. Cancelled events never run and are not
+// counted.
+func (s *Scheduler) Executed() uint64 { return s.executed }
 
 // Step runs the next event, advancing the clock to its deadline. It reports
 // whether an event was run.
@@ -120,9 +280,19 @@ func (s *Scheduler) Step() bool {
 	if len(s.queue) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.queue).(*event)
+	e := s.queue.popMin()
 	s.now = e.at
-	e.fn(s.now)
+	s.executed++
+	// Detach the callback before running it: the callback may re-arm e (the
+	// self-rescheduling pattern), and a fired one-shot must not pin its
+	// closure for the garbage collector.
+	fn, h := e.fn, e.h
+	e.fn, e.h = nil, nil
+	if fn != nil {
+		fn(s.now)
+	} else {
+		h.HandleEvent(e, s.now)
+	}
 	return true
 }
 

@@ -1,6 +1,7 @@
 package simtime
 
 import (
+	"fmt"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -172,5 +173,57 @@ func TestEventOrderProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestExecutedCountsEveryEvent(t *testing.T) {
+	s := NewScheduler(0)
+	for i := 0; i < 7; i++ {
+		s.At(FromSeconds(float64(i)), func(Time) {})
+	}
+	if got := s.Executed(); got != 0 {
+		t.Fatalf("Executed = %d before any Step", got)
+	}
+	s.Drain(3)
+	if got := s.Executed(); got != 3 {
+		t.Fatalf("Executed = %d after Drain(3)", got)
+	}
+	s.RunUntil(FromSeconds(100))
+	if got := s.Executed(); got != 7 {
+		t.Fatalf("Executed = %d after draining all, want 7", got)
+	}
+}
+
+func TestCancelRemovesPendingEvent(t *testing.T) {
+	s := NewScheduler(0)
+	var fired []string
+	s.At(FromSeconds(1), func(Time) { fired = append(fired, "a") })
+	b := s.Schedule(FromSeconds(2), func(Time) { fired = append(fired, "b") })
+	s.At(FromSeconds(3), func(Time) { fired = append(fired, "c") })
+
+	if !s.Cancel(b) {
+		t.Fatal("Cancel returned false for a pending event")
+	}
+	if s.Cancel(b) {
+		t.Fatal("second Cancel of the same event returned true")
+	}
+	if got := s.Pending(); got != 2 {
+		t.Fatalf("Pending = %d after cancel, want 2", got)
+	}
+	s.RunUntil(FromSeconds(10))
+	if got := fmt.Sprint(fired); got != "[a c]" {
+		t.Fatalf("fired %v; cancelled event must not run, order must hold", fired)
+	}
+	if got := s.Executed(); got != 2 {
+		t.Fatalf("Executed = %d, want 2 (cancelled events are not counted)", got)
+	}
+	// Cancelling an event that has already fired is a no-op.
+	e := s.Schedule(FromSeconds(11), func(Time) {})
+	s.RunUntil(FromSeconds(12))
+	if s.Cancel(e) {
+		t.Fatal("Cancel of a fired event returned true")
+	}
+	if s.Cancel(nil) {
+		t.Fatal("Cancel(nil) returned true")
 	}
 }
