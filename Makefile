@@ -12,6 +12,8 @@ check: lint bench-scale
 	$(GO) test -race ./internal/core/... ./internal/faas/...
 	@$(GO) run ./cmd/eaao -quick run faultsweep >/dev/null
 	@echo "faultsweep smoke OK"
+	@$(GO) run ./cmd/eaao -quick run multiregion >/dev/null
+	@echo "multiregion smoke OK"
 	@$(GO) run ./internal/tools/benchjson -label smoke \
 		-in internal/tools/benchfmt/testdata/sample_bench.txt -out /tmp/BENCH_smoke.json
 	@$(GO) run ./internal/tools/benchdiff /tmp/BENCH_smoke.json /tmp/BENCH_smoke.json >/dev/null

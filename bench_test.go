@@ -387,6 +387,69 @@ func BenchmarkCampaign(b *testing.B) {
 			b.ReportMetric(st.CoverageFraction(), "coverage")
 		})
 	}
+	// The sharded fleet path: one campaign across three unequal region
+	// worlds, coordinated by the adaptive cross-region budget planner, with
+	// per-region victim sets verified shard by shard.
+	b.Run("multiregion", func(b *testing.B) {
+		var fs FleetStats
+		var cov Coverage
+		for i := 0; i < b.N; i++ {
+			sizes := []struct{ hosts, groups, base, acct, svc, fresh int }{
+				{150, 3, 40, 70, 55, 5},
+				{80, 2, 30, 40, 30, 3},
+				{220, 4, 50, 100, 80, 8},
+			}
+			profs := make([]RegionProfile, len(sizes))
+			for j, s := range sizes {
+				p := faas.USEast1Profile()
+				p.Name = faas.Region(fmt.Sprintf("bench-%d", j))
+				p.NumHosts = s.hosts
+				p.PlacementGroups = s.groups
+				p.BasePoolSize = s.base
+				p.AccountHelperPool = s.acct
+				p.ServiceHelperSize = s.svc
+				p.ServiceHelperFresh = s.fresh
+				profs[j] = p
+			}
+			fleet, err := NewFleet(16, profs...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := DefaultAttackConfig()
+			cfg.Services = 2
+			cfg.InstancesPerLaunch = 200
+			cfg.Launches = 4
+			fc, err := NewFleetAttackCampaign(fleet, "atk", cfg, Gen1, OptimizedStrategy{}, CrossRegionPlanner{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := fc.Launch(); err != nil {
+				b.Fatal(err)
+			}
+			victims := make(map[Region][]*Instance, fleet.Size())
+			for _, dc := range fleet.Shards() {
+				vic, err := dc.Account("victim").DeployService("v", faas.ServiceConfig{}).Launch(60)
+				if err != nil {
+					b.Fatal(err)
+				}
+				victims[dc.Region()] = vic
+			}
+			vers, err := fc.Verify(victims)
+			if err != nil {
+				b.Fatal(err)
+			}
+			covs := make([]Coverage, len(vers))
+			for j, v := range vers {
+				covs[j] = v.Coverage
+			}
+			cov = MergeCoverages(covs...)
+			fs = fc.Stats()
+		}
+		b.ReportMetric(float64(fs.Totals().ApparentHosts), "hosts")
+		b.ReportMetric(fs.Totals().USD, "usd")
+		b.ReportMetric(cov.Fraction(), "coverage")
+		b.ReportMetric(float64(fs.RoundsUsed), "rounds")
+	})
 }
 
 // BenchmarkPlacement measures the raw placement path — deploy a fresh

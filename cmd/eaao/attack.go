@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"eaao"
@@ -16,6 +17,8 @@ import (
 func runAttack(args []string, seed uint64, quick bool, policy eaao.PlacementPolicy, faults eaao.FaultPlan) error {
 	fs := flag.NewFlagSet("attack", flag.ExitOnError)
 	region := fs.String("region", string(eaao.USEast1), "target region (us-east1, us-central1, us-west1)")
+	regions := fs.String("regions", "", "comma-separated regions for a multi-region fleet campaign (overrides -region)")
+	planner := fs.String("planner", "", "fleet budget planner: static-even, proportional, adaptive (default: the strategy's native rule)")
 	services := fs.Int("services", 6, "attacker services")
 	perLaunch := fs.Int("instances", 800, "instances per launch")
 	launches := fs.Int("launches", 6, "launches per service")
@@ -57,26 +60,9 @@ func runAttack(args []string, seed uint64, quick bool, policy eaao.PlacementPoli
 			profiles[i].Faults = faults
 		}
 	}
-	pl := eaao.NewPlatform(seed, profiles...)
-	dc, err := pl.Region(eaao.Region(*region))
-	if err != nil {
-		return err
-	}
-
 	gen := eaao.Gen1
 	if *gen2 {
 		gen = eaao.Gen2
-	}
-	// The victim tenant's deploy tooling retries transient faults like any
-	// production pipeline; the attacker-side budgets are the flags above.
-	vicSvc := dc.Account("victim").DeployService("victim-svc", eaao.ServiceConfig{Gen: gen})
-	vic, err := vicSvc.Launch(*victims)
-	for tries := 0; err != nil && errors.Is(err, eaao.ErrLaunchFault) && tries < 8; tries++ {
-		dc.Scheduler().Advance(15 * time.Second)
-		vic, err = vicSvc.Launch(*victims)
-	}
-	if err != nil {
-		return err
 	}
 
 	cfg := eaao.DefaultAttackConfig()
@@ -93,6 +79,22 @@ func runAttack(args []string, seed uint64, quick bool, policy eaao.PlacementPoli
 	if err != nil {
 		return err
 	}
+
+	if *regions != "" {
+		return runFleetAttack(seed, profiles, strings.Split(*regions, ","),
+			*planner, cfg, gen, strat, *victims, faults)
+	}
+
+	pl := eaao.NewPlatform(seed, profiles...)
+	dc, err := pl.Region(eaao.Region(*region))
+	if err != nil {
+		return err
+	}
+	vic, err := launchVictims(dc, gen, *victims)
+	if err != nil {
+		return err
+	}
+
 	start := time.Now()
 	camp, err := eaao.NewAttackCampaign(dc.Account("attacker"), cfg, gen, strat)
 	if err != nil {
@@ -121,6 +123,98 @@ func runAttack(args []string, seed uint64, quick bool, policy eaao.PlacementPoli
 		fmt.Printf("injected faults:   %d launch rejections, %d aborts (%d instances rolled back), %d preemptions, %d channel misfires, %d probe faults\n",
 			fc.LaunchRejections, fc.LaunchAborts, fc.InstancesRolledBack,
 			fc.Preemptions, fc.ChannelMisfires, fc.ProbeFaults)
+	}
+	fmt.Printf("(simulated in %v)\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// launchVictims deploys the victim tenant's service in one region. The
+// victim's deploy tooling retries transient faults like any production
+// pipeline; the attacker-side budgets are the attack flags.
+func launchVictims(dc *eaao.DataCenter, gen eaao.Gen, n int) ([]*eaao.Instance, error) {
+	svc := dc.Account("victim").DeployService("victim-svc", eaao.ServiceConfig{Gen: gen})
+	vic, err := svc.Launch(n)
+	for tries := 0; err != nil && errors.Is(err, eaao.ErrLaunchFault) && tries < 8; tries++ {
+		dc.Scheduler().Advance(15 * time.Second)
+		vic, err = svc.Launch(n)
+	}
+	return vic, err
+}
+
+// runFleetAttack is the -regions path: one sharded campaign across a fleet
+// of region worlds, with the budget planner reallocating launch rounds
+// between them, printing per-region and fleet-wide ledgers.
+func runFleetAttack(seed uint64, profiles []eaao.RegionProfile, names []string,
+	plannerName string, cfg eaao.AttackConfig, gen eaao.Gen,
+	strat eaao.LaunchStrategy, victims int, faults eaao.FaultPlan) error {
+	var selected []eaao.RegionProfile
+	for _, name := range names {
+		r := eaao.Region(strings.TrimSpace(name))
+		found := false
+		for _, p := range profiles {
+			if p.Name == r {
+				selected = append(selected, p)
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown region %q (us-east1, us-central1, us-west1)", r)
+		}
+	}
+	var planner eaao.Planner
+	if plannerName != "" {
+		var err error
+		if planner, err = eaao.AttackPlannerByName(plannerName); err != nil {
+			return err
+		}
+	}
+	fleet, err := eaao.NewFleet(seed, selected...)
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	fc, err := eaao.NewFleetAttackCampaign(fleet, "attacker", cfg, gen, strat, planner)
+	if err != nil {
+		return err
+	}
+	if err := fc.Launch(); err != nil {
+		return err
+	}
+	vicByRegion := make(map[eaao.Region][]*eaao.Instance, fleet.Size())
+	for _, dc := range fleet.Shards() {
+		vic, err := launchVictims(dc, gen, victims)
+		if err != nil {
+			return err
+		}
+		vicByRegion[dc.Region()] = vic
+	}
+	vers, err := fc.Verify(vicByRegion)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("fleet:             %d regions (%s, %s strategy, %s planner)\n",
+		fleet.Size(), gen, strat.Name(), fc.Planner().Name())
+	fmt.Printf("campaign:          %d services × %d launches × %d instances @ %v per region\n",
+		cfg.Services, cfg.Launches, cfg.InstancesPerLaunch, cfg.Interval)
+	covs := make([]eaao.Coverage, 0, len(vers))
+	spies := 0
+	for _, v := range vers {
+		covs = append(covs, v.Coverage)
+		spies += len(v.Spies)
+		fmt.Printf("  %-12s %s, %d spies\n", v.Region+":", v.Coverage, len(v.Spies))
+	}
+	fmt.Printf("fleet coverage:    %s\n", eaao.MergeCoverages(covs...))
+	fmt.Printf("co-located spies:  %d\n", spies)
+	fmt.Println(fc.Stats().String())
+	if faults.Enabled() {
+		for _, dc := range fleet.Shards() {
+			c := dc.FaultCounters()
+			fmt.Printf("injected faults (%s): %d launch rejections, %d aborts (%d instances rolled back), %d preemptions, %d channel misfires, %d probe faults\n",
+				dc.Region(), c.LaunchRejections, c.LaunchAborts, c.InstancesRolledBack,
+				c.Preemptions, c.ChannelMisfires, c.ProbeFaults)
+		}
 	}
 	fmt.Printf("(simulated in %v)\n", time.Since(start).Round(time.Millisecond))
 	return nil

@@ -231,6 +231,7 @@ usage:
   eaao [flags] list
   eaao [flags] run <id>... | all
   eaao [flags] attack [-region R] [-strategy naive|optimized|adaptive] [-victims N] ...
+  eaao [flags] attack -regions R1,R2,... [-planner static-even|proportional|adaptive]
 
 flags:
 `)

@@ -108,3 +108,24 @@ func TestRunAttackSmoke(t *testing.T) {
 		t.Error("bogus region accepted")
 	}
 }
+
+func TestRunFleetAttackSmoke(t *testing.T) {
+	args := []string{
+		"-regions", "us-east1,us-west1",
+		"-planner", "adaptive",
+		"-services", "2",
+		"-instances", "150",
+		"-launches", "3",
+		"-victims", "30",
+	}
+	if err := runAttack(args, 42, true, nil, eaao.FaultPlan{}); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown fleet regions and planners error out.
+	if err := runAttack([]string{"-regions", "us-east1,mars"}, 42, true, nil, eaao.FaultPlan{}); err == nil {
+		t.Error("bogus fleet region accepted")
+	}
+	if err := runAttack([]string{"-regions", "us-east1", "-planner", "bogus"}, 42, true, nil, eaao.FaultPlan{}); err == nil {
+		t.Error("bogus planner accepted")
+	}
+}

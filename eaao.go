@@ -184,6 +184,61 @@ type (
 	ScaleEstimate = attack.ScaleEstimate
 )
 
+// Multi-region fleet types (the cross-region campaign layer).
+type (
+	// Fleet is a set of independent region worlds attacked as one target.
+	Fleet = faas.Fleet
+	// FleetCampaign shards one campaign across every region of a Fleet,
+	// with a Planner reallocating the launch-round budget between regions.
+	FleetCampaign = attack.FleetCampaign
+	// FleetStats is the merged per-region ledger of a fleet campaign.
+	FleetStats = attack.FleetStats
+	// Planner decides which region shards get another launch round.
+	Planner = attack.Planner
+	// ShardStatus is one shard's attacker-visible state at a barrier.
+	ShardStatus = attack.ShardStatus
+	// ShardVerification is one region's verify-stage outcome.
+	ShardVerification = attack.ShardVerification
+	// StaticEvenPlanner splits the round budget evenly (the baseline).
+	StaticEvenPlanner = attack.StaticEvenPlanner
+	// ProportionalPlanner splits the budget by first-round yield.
+	ProportionalPlanner = attack.ProportionalPlanner
+	// CrossRegionPlanner drains saturated regions and re-funds yielding ones.
+	CrossRegionPlanner = attack.CrossRegionPlanner
+)
+
+// NewFleet builds one independent region world per profile from a shared
+// seed. Each region is byte-identical to the same region built alone with
+// the same seed, so a fleet attack decomposes exactly into its per-region
+// shards.
+func NewFleet(seed uint64, profiles ...RegionProfile) (*Fleet, error) {
+	return faas.NewFleet(seed, profiles...)
+}
+
+// FleetOf wraps existing regions into a fleet. Multi-region fleets need one
+// platform per region (each shard must own its virtual clock); a one-region
+// fleet may wrap any platform's region.
+func FleetOf(regions ...*DataCenter) (*Fleet, error) { return faas.FleetOf(regions...) }
+
+// NewFleetAttackCampaign binds a launch strategy, an account identity and a
+// budget planner to a fleet. A nil planner selects the strategy's native
+// continue/stop rule, making a one-region fleet byte-identical to the legacy
+// single-region campaign.
+func NewFleetAttackCampaign(fleet *Fleet, account string, cfg AttackConfig, gen Gen,
+	strategy LaunchStrategy, planner Planner) (*FleetCampaign, error) {
+	return attack.NewFleetCampaign(fleet, account, cfg, gen, strategy, planner)
+}
+
+// AttackPlanners returns one instance of every built-in budget planner.
+func AttackPlanners() []Planner { return attack.Planners() }
+
+// AttackPlannerByName resolves a built-in budget planner from its name
+// ("static-even", "proportional", "adaptive").
+func AttackPlannerByName(name string) (Planner, error) { return attack.PlannerByName(name) }
+
+// MergeCoverages folds per-shard coverages into one fleet-wide measurement.
+func MergeCoverages(covs ...Coverage) Coverage { return attack.MergeCoverages(covs...) }
+
 // Extraction (threat-model step 2) types.
 type (
 	// ExtractionSchedule is a victim's secret-dependent execution plan.

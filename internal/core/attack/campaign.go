@@ -54,13 +54,15 @@ func NewCampaign(acct *faas.Account, cfg Config, gen sandbox.Gen, strategy Launc
 	if strategy == nil {
 		return nil, fmt.Errorf("attack: campaign needs a strategy")
 	}
-	return &Campaign{
+	c := &Campaign{
 		acct:     acct,
 		cfg:      cfg,
 		gen:      gen,
 		strategy: strategy,
 		sched:    acct.DataCenter().Scheduler(),
-	}, nil
+	}
+	c.stats.Region = acct.DataCenter().Region()
+	return c, nil
 }
 
 // Launch runs the launch+fingerprint stages: the strategy emits waves

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"eaao/internal/core/covert"
+	"eaao/internal/faas"
 )
 
 // CampaignStats is the per-stage cost/coverage ledger of one campaign run.
@@ -17,6 +18,10 @@ import (
 type CampaignStats struct {
 	// Strategy is the name of the LaunchStrategy that ran the campaign.
 	Strategy string
+	// Region is the data center the campaign attacked; it labels the
+	// ledger so per-shard ledgers of a fleet campaign stay apart. Empty in
+	// merged fleet totals.
+	Region faas.Region
 
 	// Launch stage.
 
@@ -117,10 +122,23 @@ func (s CampaignStats) CoverageFraction() float64 {
 	return float64(s.VictimsCovered) / float64(s.VictimInstances)
 }
 
+// CostPerVictim returns the launch-stage dollars paid per covered victim,
+// or 0 before any victim was covered.
+func (s CampaignStats) CostPerVictim() float64 {
+	if s.VictimsCovered == 0 {
+		return 0
+	}
+	return s.USD / float64(s.VictimsCovered)
+}
+
 // String renders the ledger, one line per pipeline stage.
 func (s CampaignStats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "campaign ledger (%s):\n", s.Strategy)
+	if s.Region != "" {
+		fmt.Fprintf(&b, "campaign ledger (%s @ %s):\n", s.Strategy, s.Region)
+	} else {
+		fmt.Fprintf(&b, "campaign ledger (%s):\n", s.Strategy)
+	}
 	fmt.Fprintf(&b, "  launch:      %d waves, %d instances (%d live), %v wall, %.0f vCPU-s ($%.2f)\n",
 		s.Waves, s.InstancesLaunched, s.LiveInstances, s.LaunchWall, s.VCPUSeconds, s.USD)
 	fmt.Fprintf(&b, "  fingerprint: %d samples, %d apparent hosts\n",
@@ -133,5 +151,83 @@ func (s CampaignStats) String() string {
 		fmt.Fprintf(&b, "\n  faults:      %d launch retries (%v backoff, $%.2f held), %d re-votes, %d probe retries, %d skips",
 			s.LaunchRetries, s.RetryBackoffWall, s.FaultUSD, s.ReVotes, s.ProbeRetries, s.ProbeSkips)
 	}
+	return b.String()
+}
+
+// FleetStats is the merged ledger of a FleetCampaign: the per-region shard
+// ledgers plus the round-budget accounting of the planner that allocated
+// across them.
+type FleetStats struct {
+	// Planner and Strategy name the budget policy and launch strategy.
+	Planner  string
+	Strategy string
+	// Budget is the fleet's total launch-round budget (regions × Launches);
+	// RoundsUsed is how many rounds the planner actually granted, implicit
+	// first rounds included. Both are zero for unpaced strategies.
+	Budget     int
+	RoundsUsed int
+	// Shards are the per-region campaign ledgers, in fleet order.
+	Shards []CampaignStats
+}
+
+// Totals merges the shard ledgers into one fleet-wide CampaignStats. Counts
+// and costs add; LaunchWall is the maximum across shards, because shards
+// run their virtual clocks concurrently — the fleet's launch stage is as
+// long as its slowest region's.
+func (f FleetStats) Totals() CampaignStats {
+	var t CampaignStats
+	t.Strategy = f.Strategy
+	for _, s := range f.Shards {
+		t.Waves += s.Waves
+		t.InstancesLaunched += s.InstancesLaunched
+		t.LiveInstances += s.LiveInstances
+		if s.LaunchWall > t.LaunchWall {
+			t.LaunchWall = s.LaunchWall
+		}
+		t.VCPUSeconds += s.VCPUSeconds
+		t.GBSeconds += s.GBSeconds
+		t.USD += s.USD
+		t.FingerprintSamples += s.FingerprintSamples
+		t.ApparentHosts += s.ApparentHosts
+		t.Verifications += s.Verifications
+		t.CTests += s.CTests
+		t.CovertTime += s.CovertTime
+		t.CovertInstanceTime += s.CovertInstanceTime
+		t.VictimInstances += s.VictimInstances
+		t.VictimsCovered += s.VictimsCovered
+		t.LaunchRetries += s.LaunchRetries
+		t.RetryBackoffWall += s.RetryBackoffWall
+		t.ReVotes += s.ReVotes
+		t.ProbeRetries += s.ProbeRetries
+		t.ProbeSkips += s.ProbeSkips
+		t.FaultVCPUSeconds += s.FaultVCPUSeconds
+		t.FaultGBSeconds += s.FaultGBSeconds
+		t.FaultUSD += s.FaultUSD
+	}
+	return t
+}
+
+// CostPerVictim returns the fleet-wide dollars per covered victim.
+func (f FleetStats) CostPerVictim() float64 { return f.Totals().CostPerVictim() }
+
+// String renders the fleet ledger: one cost/coverage line per region shard
+// and the fleet-wide roll-up.
+func (f FleetStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet ledger (%s planner, %s strategy): %d regions",
+		f.Planner, f.Strategy, len(f.Shards))
+	if f.Budget > 0 {
+		fmt.Fprintf(&b, ", %d/%d rounds", f.RoundsUsed, f.Budget)
+	}
+	b.WriteByte('\n')
+	for _, s := range f.Shards {
+		fmt.Fprintf(&b, "  %-12s %2d waves, %4d apparent hosts, $%6.2f, %d/%d victims (%.1f%%), $%.2f/victim\n",
+			s.Region+":", s.Waves, s.ApparentHosts, s.USD,
+			s.VictimsCovered, s.VictimInstances, 100*s.CoverageFraction(), s.CostPerVictim())
+	}
+	t := f.Totals()
+	fmt.Fprintf(&b, "  %-12s %2d waves, %4d apparent hosts, $%6.2f, %d/%d victims (%.1f%%), $%.2f/victim",
+		"fleet:", t.Waves, t.ApparentHosts, t.USD,
+		t.VictimsCovered, t.VictimInstances, 100*t.CoverageFraction(), t.CostPerVictim())
 	return b.String()
 }

@@ -12,16 +12,27 @@ import (
 // runs its launch stage. The returned campaign carries the footprint, the
 // cost ledger, and an instrumented covert tester for verification — the
 // attacker/tester wiring every coverage experiment used to assemble by hand.
+//
+// Since the fleet refactor this rides the sharded code path: the region is
+// wrapped into a one-shard fleet and driven by the planner that reproduces
+// the strategy's own continue/stop rule, which the golden-digest test pins
+// as byte-identical to the legacy single-region campaign. Trial jobs run
+// inside the experiments' own worker pool, so the shard pool stays at one.
 func launchCampaign(dc *faas.DataCenter, account string, cfg attack.Config,
 	strategy attack.LaunchStrategy, gen sandbox.Gen) (*attack.Campaign, error) {
-	camp, err := attack.NewCampaign(dc.Account(account), cfg, gen, strategy)
+	fleet, err := faas.FleetOf(dc)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := camp.Launch(); err != nil {
+	fc, err := attack.NewFleetCampaign(fleet, account, cfg, gen, strategy, nil)
+	if err != nil {
 		return nil, err
 	}
-	return camp, nil
+	fc.SetJobs(1)
+	if err := fc.Launch(); err != nil {
+		return nil, err
+	}
+	return fc.Shard(dc.Region()), nil
 }
 
 // attackerCampaign is launchCampaign at this context's standard campaign

@@ -151,6 +151,7 @@ func init() {
 		{ID: "strategyablation", Title: "Coverage vs cost under swappable launch strategies", PaperRef: "§5.2, DESIGN.md attack layer", Run: runStrategyAblation},
 		{ID: "faultsweep", Title: "Coverage and cost vs injected fault rate", PaperRef: "§4.1 measurement conditions, DESIGN.md fault plane", Run: runFaultSweep},
 		{ID: "scale", Title: "Event-kernel throughput at fleet scale", PaperRef: "DESIGN.md event kernel; §5.2 scale context", Run: runScale},
+		{ID: "multiregion", Title: "Multi-region fleet campaigns under budget planners", PaperRef: "§5.2 scale-out; DESIGN.md fleet and planner", Run: runMultiRegion},
 	}
 }
 

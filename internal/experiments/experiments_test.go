@@ -25,7 +25,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"fig11a", "fig11b", "fig12", "table1", "freq", "verifycost", "gen2",
 		"naive", "cost", "gen2cov", "mitigation", "extraction", "reattack", "ablations",
-		"policyablation", "strategyablation", "faultsweep", "scale"}
+		"policyablation", "strategyablation", "faultsweep", "scale", "multiregion"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
@@ -478,5 +478,44 @@ func TestStrategyAblationExperiment(t *testing.T) {
 	}
 	if res.Metrics["usd_naive"] >= res.Metrics["usd_optimized"] {
 		t.Error("naive cost not below optimized")
+	}
+}
+
+func TestMultiRegionExperiment(t *testing.T) {
+	res := run(t, "multiregion")
+	for _, planner := range []string{"static-even", "proportional", "adaptive"} {
+		for _, r := range []string{"r1", "r3"} {
+			for _, key := range []string{"coverage_", "usd_", "cpv_", "rounds_", "footprint_"} {
+				if _, ok := res.Metrics[key+planner+"_"+r]; !ok {
+					t.Errorf("metric %s%s_%s missing", key, planner, r)
+				}
+			}
+		}
+	}
+	// Attacking more regions reaches more hosts at proportionally more spend.
+	if f3, f1 := res.Metrics["footprint_static-even_r3"], res.Metrics["footprint_static-even_r1"]; f3 <= f1 {
+		t.Errorf("three-region footprint %v not above one-region %v", f3, f1)
+	}
+	if u3, u1 := res.Metrics["usd_static-even_r3"], res.Metrics["usd_static-even_r1"]; u3 <= u1 {
+		t.Errorf("three-region cost $%v not above one-region $%v", u3, u1)
+	}
+	// The budget is conserved: no planner can outspend the static split, and
+	// the adaptive planner never uses more rounds than it.
+	for _, planner := range []string{"proportional", "adaptive"} {
+		if u, s := res.Metrics["usd_"+planner+"_r3"], res.Metrics["usd_static-even_r3"]; u > s+1e-9 {
+			t.Errorf("%s overspent the budget: $%v vs static-even $%v", planner, u, s)
+		}
+	}
+	if ra, rs := res.Metrics["rounds_adaptive_r3"], res.Metrics["rounds_static-even_r3"]; ra > rs {
+		t.Errorf("adaptive used %v rounds, static-even %v", ra, rs)
+	}
+	// Reallocation must not break the attack: the fleet still covers victims.
+	if cov := res.Metrics["coverage_adaptive_r3"]; cov < 0.9 {
+		t.Errorf("adaptive three-region coverage = %v, want near-total", cov)
+	}
+	// Cost per covered victim — the experiment's headline — never favors
+	// static-even over adaptive.
+	if ca, cs := res.Metrics["cpv_adaptive_r3"], res.Metrics["cpv_static-even_r3"]; ca > cs+1e-9 {
+		t.Errorf("adaptive $%v per victim above static-even $%v", ca, cs)
 	}
 }

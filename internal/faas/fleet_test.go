@@ -1,0 +1,95 @@
+package faas
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fleetProfiles returns two small distinct regions for fleet tests.
+func fleetProfiles() []RegionProfile {
+	a := testProfile()
+	a.Name = "fleet-a"
+	b := testProfile()
+	b.Name = "fleet-b"
+	b.NumHosts = 80
+	b.PlacementGroups = 2
+	b.AccountHelperPool = 40
+	b.ServiceHelperSize = 30
+	return []RegionProfile{a, b}
+}
+
+// TestFleetShardMatchesSingleRegionPlatform pins the claim the fleet design
+// rests on: a region world inside a fleet is byte-identical to the same
+// region built as its own single-region platform, because every per-region
+// stream derives from (seed, region name) alone.
+func TestFleetShardMatchesSingleRegionPlatform(t *testing.T) {
+	profs := fleetProfiles()
+	fleet, err := NewFleet(42, profs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prof := range profs {
+		shard := fleet.MustRegion(prof.Name)
+		solo := MustPlatform(42, prof).MustRegion(prof.Name)
+		launch := func(dc *DataCenter) map[HostID]int {
+			t.Helper()
+			insts, err := dc.Account("acct").DeployService("svc", ServiceConfig{}).Launch(60)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return hostSet(insts)
+		}
+		got, want := launch(shard), launch(solo)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: fleet shard placement diverges from solo platform: %v vs %v",
+				prof.Name, got, want)
+		}
+	}
+}
+
+func TestFleetValidation(t *testing.T) {
+	if _, err := NewFleet(1); err == nil {
+		t.Error("empty fleet built")
+	}
+	p := testProfile()
+	if _, err := NewFleet(1, p, p); err == nil {
+		t.Error("duplicate regions built")
+	}
+	if _, err := FleetOf(); err == nil {
+		t.Error("empty FleetOf built")
+	}
+
+	// Two shards on one platform share a clock — rejected.
+	profs := fleetProfiles()
+	pl := MustPlatform(7, profs...)
+	if _, err := FleetOf(pl.MustRegion("fleet-a"), pl.MustRegion("fleet-b")); err == nil {
+		t.Error("two shards sharing a platform built")
+	}
+	dc := pl.MustRegion("fleet-a")
+	if _, err := FleetOf(dc, dc); err == nil {
+		t.Error("duplicate shard built")
+	}
+
+	// A one-shard fleet may wrap any platform's region: that is the
+	// compatibility path single-region experiments ride on.
+	f, err := FleetOf(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 1 || f.MustRegion("fleet-a") != dc || f.Seed() != 7 {
+		t.Errorf("one-shard fleet mangled: size %d seed %d", f.Size(), f.Seed())
+	}
+
+	// Distinct platforms per shard are accepted.
+	f2, err := FleetOf(MustPlatform(7, profs[0]).MustRegion("fleet-a"),
+		MustPlatform(7, profs[1]).MustRegion("fleet-b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f2.Regions(); len(got) != 2 || got[0] != "fleet-a" || got[1] != "fleet-b" {
+		t.Errorf("fleet regions = %v", got)
+	}
+	if _, err := f2.Region("nope"); err == nil {
+		t.Error("unknown region resolved")
+	}
+}
