@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check lint race bench bench-scale bench-json bench-diff run-all
+.PHONY: check lint race bench bench-scale bench-json bench-diff bench-gate run-all
 
 # Tier-1 gate: lint (gofmt + vet), build, test, a race pass over the fault
 # plane and its attack-side recovery paths, quick fault-sweep and event-kernel
 # smoke runs, and a smoke run of the benchmark record tooling against the
 # checked-in fixture.
-check: lint bench-scale
+check: lint bench-scale bench-gate
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/core/... ./internal/faas/...
@@ -54,6 +54,17 @@ bench-json:
 # Compare two records: make bench-diff BASE=BENCH_baseline.json HEAD=BENCH_pr3.json
 bench-diff:
 	$(GO) run ./internal/tools/benchdiff $(BASE) $(HEAD)
+
+# Regression gate over the two most recent checked-in records: fails on any
+# >25% movement in the guarded budgets (ns/op, B/op, allocs/op growth;
+# events/sec drop; allocs/event growth). Records are snapshots from a quiet
+# machine, so the gate is deterministic — it audits the trajectory, it does
+# not re-run benchmarks.
+GATE_BASE ?= BENCH_pr7.json
+GATE_HEAD ?= BENCH_pr8.json
+bench-gate:
+	@$(GO) run ./internal/tools/benchdiff -gate 25 $(GATE_BASE) $(GATE_HEAD)
+	@echo "bench gate OK"
 
 run-all:
 	$(GO) run ./cmd/eaao run all

@@ -10,6 +10,7 @@
 //
 //	-seed N    root seed (default 9)
 //	-quick     reduced scale (~4x smaller fleet, fewer reps)
+//	-big       headroom scale for the scale experiment (80k hosts, 640 tenants, >1M instances)
 //	-jobs N    worker-pool width for trial repetitions (default NumCPU; 1 = sequential)
 //	-parallel  run whole experiments concurrently through the same bounded pool
 //	-policy P  override every region's placement policy (cloudrun, random-uniform, least-loaded)
@@ -40,6 +41,7 @@ func main() {
 func run() int {
 	seed := flag.Uint64("seed", 9, "root random seed")
 	quick := flag.Bool("quick", false, "reduced scale for fast runs")
+	big := flag.Bool("big", false, "headroom scale for the scale experiment (80k hosts, 640 tenants, >1M instances created)")
 	csv := flag.Bool("csv", false, "print tables as CSV too")
 	svgDir := flag.String("svg", "", "directory to write figure SVGs into")
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of text")
@@ -120,7 +122,7 @@ func run() int {
 				ids = append(ids, d.ID)
 			}
 		}
-		ctx := eaao.ExperimentContext{Seed: *seed, Quick: *quick, Jobs: *jobs, Policy: policy, Faults: faults}
+		ctx := eaao.ExperimentContext{Seed: *seed, Quick: *quick, Big: *big, Jobs: *jobs, Policy: policy, Faults: faults}
 
 		// Each experiment builds its own deterministic world, so runs are
 		// independent and can proceed concurrently; results print in the

@@ -50,6 +50,10 @@ import (
 type (
 	// Platform is the simulated cloud (virtual clock + data centers).
 	Platform = faas.Platform
+	// Snapshot is an immutable copy-on-write world snapshot: Restore forks
+	// byte-identical, fully independent platforms from it (see
+	// Platform.Snapshot).
+	Snapshot = faas.Snapshot
 	// DataCenter is one simulated region.
 	DataCenter = faas.DataCenter
 	// Region names a data center.

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"eaao/internal/core/attack"
@@ -28,13 +29,43 @@ func ablationProfile() faas.RegionProfile {
 	return p
 }
 
-// ablationWorld launches n instances in a fresh ablation region.
+// ablationWorld launches n instances in a fresh ablation region. The
+// launched world — not just the empty region — rides the snapshot path: the
+// first (seed, n, gen) request builds and launches once, and every other
+// trial of the sweep forks that instant instead of replaying placement. No
+// simulated time passes between the launch and the snapshot, so the fork's
+// instance list is exactly the launch batch, in launch order.
 func ablationWorld(seed uint64, n int, gen sandbox.Gen) (*faas.Platform, []*faas.Instance, error) {
-	pl := faas.MustPlatform(seed, ablationProfile())
-	insts, err := pl.MustRegion("ablation").Account("a").
-		DeployService("s", faas.ServiceConfig{Gen: gen}).Launch(n)
-	return pl, insts, err
+	v, _ := ablationWorlds.LoadOrStore(fmt.Sprintf("%d|%d|%v", seed, n, gen), &launchedWorld{})
+	w := v.(*launchedWorld)
+	w.once.Do(func() {
+		pl := forkPlatform(seed, ablationProfile())
+		if _, err := pl.MustRegion("ablation").Account("a").
+			DeployService("s", faas.ServiceConfig{Gen: gen}).Launch(n); err != nil {
+			w.err = err
+			return
+		}
+		w.snap, w.err = pl.Snapshot()
+	})
+	if w.err != nil {
+		return nil, nil, w.err
+	}
+	pl := w.snap.MustRestore()
+	insts := pl.MustRegion("ablation").Account("a").
+		DeployService("s", faas.ServiceConfig{Gen: gen}).Instances()
+	return pl, insts, nil
 }
+
+// launchedWorld is a snapshot cut after a scripted launch, plus the error
+// that aborted the script (sticky: a failed script fails every trial of the
+// sweep identically, like the per-trial builds it replaced would have).
+type launchedWorld struct {
+	once sync.Once
+	snap *faas.Snapshot
+	err  error
+}
+
+var ablationWorlds sync.Map // "seed|n|gen" → *launchedWorld
 
 func ablationItems(insts []*faas.Instance) ([]coloc.Item, error) {
 	items := make([]coloc.Item, len(insts))
@@ -186,7 +217,7 @@ func runAblations(ctx Context) (*Result, error) {
 	// 4. Launch interval: the demand-window sweet spot.
 	intervals := []time.Duration{2 * time.Minute, 10 * time.Minute, 45 * time.Minute}
 	iRows, err := runTrials(ctx, len(intervals), func(t Trial) (int, error) {
-		pl := faas.MustPlatform(ctx.Seed+4, ablationProfile())
+		pl := forkPlatform(ctx.Seed+4, ablationProfile())
 		dc := pl.MustRegion("ablation")
 		cfg := attack.DefaultConfig()
 		cfg.Services = 2
@@ -213,7 +244,7 @@ func runAblations(ctx Context) (*Result, error) {
 	// 5. Service count: diminishing returns from overlapping helper sets.
 	serviceCounts := []int{1, 3, 6}
 	sRows, err := runTrials(ctx, len(serviceCounts), func(t Trial) (int, error) {
-		pl := faas.MustPlatform(ctx.Seed+5, ablationProfile())
+		pl := forkPlatform(ctx.Seed+5, ablationProfile())
 		dc := pl.MustRegion("ablation")
 		cfg := attack.DefaultConfig()
 		cfg.Services = serviceCounts[t.Index]
@@ -245,7 +276,7 @@ func runAblations(ctx Context) (*Result, error) {
 			p.DynamicPlacement = true
 			p.DynamicResampleFrac = frac
 		}
-		pl := faas.MustPlatform(ctx.Seed+11, p)
+		pl := forkPlatform(ctx.Seed+11, p)
 		dc := pl.MustRegion("ablation")
 		cfg := attack.DefaultConfig()
 		cfg.Services = 2
@@ -286,7 +317,7 @@ func runAblations(ctx Context) (*Result, error) {
 	{
 		p := ablationProfile()
 		p.InstanceChurnPerHour = 0 // hold the same instances for 5 days
-		pl := faas.MustPlatform(ctx.Seed+6, p)
+		pl := forkPlatform(ctx.Seed+6, p)
 		dc := pl.MustRegion("ablation")
 		insts, err := dc.Account("a").DeployService("s", faas.ServiceConfig{}).Launch(n)
 		if err != nil {

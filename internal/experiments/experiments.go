@@ -46,6 +46,10 @@ type Context struct {
 	// demand-decay detection). Only the legacy golden-digest test sets it:
 	// it proves the historical behavior is still reachable byte for byte.
 	LegacySweeps bool
+	// Big upsizes the scale experiment to the million-instance headroom
+	// configuration (80k-host region, 640 tenants; the CLI's -big flag).
+	// Only scale reads it; every other experiment is unaffected.
+	Big bool
 }
 
 // jobs resolves the effective worker count.
@@ -244,9 +248,12 @@ func (c Context) baseProfiles() []faas.RegionProfile {
 	return []faas.RegionProfile{east, central, west}
 }
 
-// platform builds a fresh simulated cloud for this context.
+// platform returns a fresh simulated cloud for this context — forked from
+// the forge's pristine snapshot after the first build, so the many
+// experiments sharing the context's default world don't replay its
+// construction.
 func (c Context) platform() *faas.Platform {
-	return faas.MustPlatform(c.Seed, c.profiles()...)
+	return forkPlatform(c.Seed, c.profiles()...)
 }
 
 // regions lists the region names of this context's profile set without

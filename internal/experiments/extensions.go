@@ -80,7 +80,7 @@ func runMitigation(ctx Context) (*Result, error) {
 	}
 	rows, err := runTrials(ctx, len(worlds), func(t Trial) (worldRow, error) {
 		w := worlds[t.Index]
-		pl := faas.MustPlatform(ctx.Seed, w.profiles...)
+		pl := forkPlatform(ctx.Seed, w.profiles...)
 		dc := pl.MustRegion(faas.USEast1)
 		g1, err := fingerprintScore(dc, sandbox.Gen1, ctx.launchSize())
 		if err != nil {
@@ -144,7 +144,7 @@ func runMitigation(ctx Context) (*Result, error) {
 				profs[i].Policy = faas.RandomUniformPolicy{}
 			}
 		}
-		pl := faas.MustPlatform(ctx.Seed+77, profs...)
+		pl := forkPlatform(ctx.Seed+77, profs...)
 		dc := pl.MustRegion(faas.USEast1)
 		camp, err := ctx.attackerCampaign(dc, "account-1", attack.OptimizedStrategy{}, sandbox.Gen1)
 		if err != nil {

@@ -34,7 +34,7 @@ func runFreq(ctx Context) (*Result, error) {
 	d, _ := ByID("freq")
 	res := newResult(d)
 	// Single-region study: build only us-east1 (identical world, less setup).
-	pl := faas.MustPlatform(ctx.Seed, ctx.regionProfile(faas.USEast1))
+	pl := forkPlatform(ctx.Seed, ctx.regionProfile(faas.USEast1))
 	dc := pl.MustRegion(faas.USEast1)
 
 	svc := dc.Account("account-1").DeployService("freq-study", faas.ServiceConfig{})
@@ -92,7 +92,7 @@ func runVerifyCost(ctx Context) (*Result, error) {
 	d, _ := ByID("verifycost")
 	res := newResult(d)
 	// Single-region study: build only us-east1 (identical world, less setup).
-	pl := faas.MustPlatform(ctx.Seed, ctx.regionProfile(faas.USEast1))
+	pl := forkPlatform(ctx.Seed, ctx.regionProfile(faas.USEast1))
 	dc := pl.MustRegion(faas.USEast1)
 	rates := pricing.CloudRunRates()
 

@@ -90,7 +90,7 @@ func runFaultSweep(ctx Context) (*Result, error) {
 		u := units[t.Index]
 		prof := ablationProfile()
 		prof.Faults = faas.UniformFaultPlan(u.level)
-		pl := faas.MustPlatform(ctx.Seed+31, prof)
+		pl := forkPlatform(ctx.Seed+31, prof)
 		dc := pl.MustRegion("ablation")
 		cfg := attack.DefaultConfig()
 		cfg.Services = 2

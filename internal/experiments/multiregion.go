@@ -56,7 +56,7 @@ func runMultiRegion(ctx Context) (*Result, error) {
 	cells, err := runTrials(ctx, len(jobs), func(t Trial) (cell, error) {
 		jb := jobs[t.Index]
 		profs := ctx.profiles()[:jb.regions]
-		fleet, err := faas.NewFleet(ctx.Seed, profs...)
+		fleet, err := forkFleet(ctx.Seed, profs...)
 		if err != nil {
 			return cell{}, err
 		}

@@ -41,7 +41,7 @@ func runPolicyAblation(ctx Context) (*Result, error) {
 	rows, err := runTrials(ctx, len(policies), func(t Trial) (row, error) {
 		p := ablationProfile()
 		p.Policy = policies[t.Index]
-		pl := faas.MustPlatform(ctx.Seed+21, p)
+		pl := forkPlatform(ctx.Seed+21, p)
 		dc := pl.MustRegion("ablation")
 		ring := faas.NewTraceRing(4096)
 		dc.SetPlacementTracer(ring)

@@ -30,10 +30,14 @@ import (
 func (c Context) scaleProfile() faas.RegionProfile {
 	p := faas.USEast1Profile()
 	p.Name = "scale-region"
-	if c.Quick {
+	switch {
+	case c.Big:
+		p.NumHosts = 80000
+		p.PlacementGroups = 80
+	case c.Quick:
 		p.NumHosts = 4000
 		p.PlacementGroups = 8
-	} else {
+	default:
 		p.NumHosts = 40000
 		p.PlacementGroups = 40
 	}
@@ -48,6 +52,14 @@ func (c Context) scaleProfile() faas.RegionProfile {
 
 // scaleWorkload returns the tenant count and per-tenant demand phases.
 func (c Context) scaleWorkload() (tenants int, phases []int, phaseDur time.Duration) {
+	if c.Big {
+		// Headroom configuration (-big): 640 tenants stepping through the
+		// full-scale phase shape creates 640×(800+300+400) = 960k instances
+		// from demand steps alone; churn and preemption replacements over
+		// the 6 simulated hours push the total past one million. Peak live
+		// is 640×1100 = 704k instances on the 80k-host region.
+		return 640, []int{800, 1100, 300, 700}, 90 * time.Minute
+	}
 	if c.Quick {
 		return 12, []int{150, 220, 60, 140}, 45 * time.Minute
 	}

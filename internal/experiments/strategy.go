@@ -30,7 +30,7 @@ func runStrategyAblation(ctx Context) (*Result, error) {
 	// launch strategy is the only difference (the trial sub-seed is
 	// deliberately unused).
 	rows, err := runTrials(ctx, len(strategies), func(t Trial) (row, error) {
-		pl := faas.MustPlatform(ctx.Seed+31, ablationProfile())
+		pl := forkPlatform(ctx.Seed+31, ablationProfile())
 		dc := pl.MustRegion("ablation")
 		cfg := attack.DefaultConfig()
 		cfg.Services = 2

@@ -42,13 +42,6 @@ type Account struct {
 	quota int
 
 	bill Bill
-
-	// scoreBuf and hostBuf are selection scratch reused across every noisy
-	// top-K decision this account makes (pool sampling, helper builds,
-	// ranked base selection). Safe because the simulator is single-threaded
-	// and no selection nests inside another.
-	scoreBuf []hostScore
-	hostBuf  []*Host
 }
 
 func newAccount(dc *DataCenter, id string) *Account {
@@ -57,11 +50,11 @@ func newAccount(dc *DataCenter, id string) *Account {
 		dc:       dc,
 		id:       id,
 		rng:      rng,
-		group:    int(rng.Derive("group").Uint64() % uint64(dc.profile.PlacementGroups)),
+		group:    int(rng.DeriveInto(&dc.deriveScratch, "group").Uint64() % uint64(dc.profile.PlacementGroups)),
 		services: make(map[string]*Service),
 	}
-	a.basePool = a.sampleBasePool(rng.Derive("base"))
-	a.helpers = a.noisyTopSample(rng.Derive("helpers"), dc.hosts, dc.profile.AccountHelperPool, sigmaHelper, noExclusion)
+	a.basePool = a.sampleBasePool(rng.DeriveInto(&dc.deriveScratch, "base"))
+	a.helpers = a.noisyTopSample(rng.DeriveInto(&dc.deriveScratch, "helpers"), dc.hosts, dc.profile.AccountHelperPool, sigmaHelper, noExclusion)
 	a.quota = dc.profile.NewAccountQuota
 	return a
 }
@@ -83,13 +76,13 @@ func (a *Account) Mature() { a.quota = 0 }
 // sampleBasePool draws the account's base pool from its placement group,
 // ranked by host desirability.
 func (a *Account) sampleBasePool(rng *randx.Source) []*Host {
-	group := a.hostBuf[:0]
+	group := a.dc.hostBuf[:0]
 	for _, h := range a.dc.hosts {
 		if h.group == a.group {
 			group = append(group, h)
 		}
 	}
-	a.hostBuf = group[:0]
+	a.dc.hostBuf = group[:0]
 	n := a.dc.profile.BasePoolSize
 	if n > len(group) {
 		n = len(group)
@@ -109,7 +102,7 @@ const noExclusion uint64 = 0
 // deterministic quickselect over the strict (score, host-id) total order, so
 // the output matches the historical full sort element for element.
 func (a *Account) noisyTopSample(rng *randx.Source, candidates []*Host, k int, sigma float64, excludeMark uint64) []*Host {
-	pool := a.scoreBuf[:0]
+	pool := a.dc.scoreBuf[:0]
 	if excludeMark == noExclusion {
 		for _, h := range candidates {
 			pool = append(pool, hostScore{h: h, score: h.desirability + rng.Normal(0, sigma)})
@@ -122,11 +115,11 @@ func (a *Account) noisyTopSample(rng *randx.Source, candidates []*Host, k int, s
 			pool = append(pool, hostScore{h: h, score: h.desirability + rng.Normal(0, sigma)})
 		}
 	}
-	a.scoreBuf = pool[:0]
+	a.dc.scoreBuf = pool[:0]
 	if k > len(pool) {
 		k = len(pool)
 	}
-	topK(pool, k, byScoreThenID)
+	topK(pool, k, byScoreThenID{})
 	out := make([]*Host, k)
 	for i := range out {
 		out[i] = pool[i].h
@@ -152,13 +145,13 @@ func (a *Account) resampleBasePool(frac float64) {
 	}
 	// Loose preference: spread well beyond the fleet's most desirable tier.
 	const sigmaDynamic = 1.0
-	fresh := a.noisyTopSample(a.rng.Derive("resample"), a.dc.hosts, n, sigmaDynamic, mark)
+	fresh := a.noisyTopSample(a.rng.DeriveInto(&a.dc.deriveScratch, "resample"), a.dc.hosts, n, sigmaDynamic, mark)
 	// Replace entries at random positions — including the high-preference
 	// head. This is what makes us-central1 placement "more dynamic": a
 	// tenant's instances keep landing on partially new hosts, which in turn
 	// caps how well any attacker footprint can cover them (the paper's
 	// 61-90% coverage band there, vs ~100% elsewhere).
-	perm := a.rng.Derive("resample-pos").Perm(len(a.basePool))
+	perm := a.rng.DeriveInto(&a.dc.deriveScratch, "resample-pos").Perm(len(a.basePool))
 	for i, h := range fresh {
 		a.basePool[perm[i]] = h
 	}

@@ -104,11 +104,8 @@ func (s *Service) scaleIn(n int) {
 		delay := p.IdleGrace + time.Duration(s.rng.Range(0, float64(p.IdleTerminationSpan)))
 		at := now.Add(delay)
 		inst.termAt = at
-		sched.At(at, func(t simtime.Time) {
-			if inst.state == StateIdle && inst.termAt == at {
-				inst.terminate(t)
-			}
-		})
+		sched.Cancel(&inst.termEvent)
+		sched.ArmHandler(&inst.termEvent, at, inst)
 		idled++
 	}
 }

@@ -38,14 +38,14 @@ func (i *Instance) SetCacheFootprint(groups []int) error {
 // probe).
 func ProbeCacheGroup(prober *Instance, g int) (bool, error) {
 	if prober.state == StateTerminated {
-		return false, fmt.Errorf("faas: probe from terminated instance %s", prober.id)
+		return false, fmt.Errorf("faas: probe from terminated instance %s", prober.ID())
 	}
 	if g < 0 || g >= CacheSetGroups {
 		return false, fmt.Errorf("faas: cache set group %d out of [0,%d)", g, CacheSetGroups)
 	}
 	h := prober.host
 	now := h.dc.platform.sched.Now()
-	for inst := range h.instances {
+	for _, inst := range h.instances {
 		if inst == prober || inst.workload == nil || !inst.workload(now) {
 			continue
 		}

@@ -1,7 +1,6 @@
 package faas
 
 import (
-	"fmt"
 	"math"
 	"time"
 
@@ -49,8 +48,12 @@ type Host struct {
 	// activity on this host.
 	noiseRNG *randx.Source
 
-	// instances currently resident (active or idle, not terminated).
-	instances map[*Instance]struct{}
+	// instances currently resident (active or idle, not terminated), in
+	// arrival order with swap-removal (Instance.hostSlot tracks the index).
+	// A slice instead of a set: every consumer either counts or filters the
+	// whole collection — none depends on order — and attach/detach on the
+	// instance-creation hot path stay allocation-free.
+	instances []*Instance
 
 	// mark is an epoch tag (Platform.nextMark) letting hot paths answer
 	// "have I touched this host during the current operation?" without a
@@ -96,7 +99,10 @@ func (h *Host) materialize() {
 	dc := h.dc
 	dc.liveHosts++
 	i := int(h.id)
-	rng := dc.rng.Derive("host", fmt.Sprint(i))
+	// The indexed stream is drained within this call (noiseRNG below is its
+	// own derived heap Source); reseeding the region scratch in place avoids
+	// one 5 KiB state allocation per materialized host.
+	rng := dc.rng.DeriveIndexedInto(&dc.matScratch, "host", i)
 	h.model = cpu.Catalog[rng.WeightedIndex(cpu.DefaultFleetWeights)]
 	h.counter = tsc.NewCounter(rng, dc.bootTimes[i], h.model.ReportedTSCHz())
 
@@ -111,7 +117,6 @@ func (h *Host) materialize() {
 	h.refinedHz = math.Round((float64(h.counter.ActualHz)+refineErr)/1000) * 1000
 
 	h.noiseRNG = rng.Derive("noise")
-	h.instances = make(map[*Instance]struct{})
 }
 
 // sampleBootTimes draws boot instants for n hosts: a mix of independent
@@ -224,7 +229,7 @@ func (h *Host) ResidentCount() int { return len(h.instances) }
 // residentOf counts non-terminated instances of one service on the host.
 func (h *Host) residentOf(svc *Service) int {
 	n := 0
-	for inst := range h.instances {
+	for _, inst := range h.instances {
 		if inst.service == svc {
 			n++
 		}
@@ -235,8 +240,32 @@ func (h *Host) residentOf(svc *Service) int {
 // attach registers an instance on the host, materializing it on first use.
 func (h *Host) attach(inst *Instance) {
 	h.materialize()
-	h.instances[inst] = struct{}{}
+	inst.hostSlot = len(h.instances)
+	h.instances = append(h.instances, inst)
 }
 
-// detach removes an instance from the host.
-func (h *Host) detach(inst *Instance) { delete(h.instances, inst) }
+// detach removes an instance from the host: swap the last resident into its
+// slot. No consumer of h.instances is order-sensitive.
+func (h *Host) detach(inst *Instance) {
+	n := len(h.instances) - 1
+	if inst.hostSlot > n || h.instances[inst.hostSlot] != inst {
+		return
+	}
+	last := h.instances[n]
+	h.instances[inst.hostSlot] = last
+	last.hostSlot = inst.hostSlot
+	h.instances[n] = nil
+	h.instances = h.instances[:n]
+}
+
+// hostBitset is a HostID-indexed bit vector. Per-service host tracking
+// (image locality) holds one of these per service; at fleet scale the
+// byte-per-host representation it replaces was a measurable share of world
+// construction, both bytes and zeroing time.
+type hostBitset []uint64
+
+func newHostBitset(n int) hostBitset { return make(hostBitset, (n+63)/64) }
+
+func (b hostBitset) get(id HostID) bool { return b[uint(id)>>6]&(1<<(uint(id)&63)) != 0 }
+
+func (b hostBitset) set(id HostID) { b[uint(id)>>6] |= 1 << (uint(id) & 63) }

@@ -36,27 +36,51 @@ func (s InstanceState) String() string {
 }
 
 // Instance is one container instance of a service.
+//
+// Instances live in per-data-center slab chunks (DataCenter.allocInstance):
+// creation is the simulator's hottest path, so the struct is laid out to be
+// born with zero per-instance heap allocations — the sandbox guest is
+// embedded by value (guestStore), the instance ID string materializes only
+// when someone asks for it, and both timers the instance ever needs are
+// intrusive simtime events dispatched through the Instance's own
+// simtime.Handler implementation.
 type Instance struct {
+	// id caches the formatted instance identity; empty until ID() first
+	// builds it from (service, seq). Internal code must go through ID().
 	id      string
 	service *Service
 	host    *Host
 	guest   *sandbox.Guest
 	state   InstanceState
 	// slot is this instance's index in service.insts, maintained on append
-	// and compaction so removal never scans or shifts the list.
-	slot int
-	// seq is the instance's creation ordinal within its data center; together
-	// with lifeDraws it addresses the instance's stateless lifecycle-event
-	// stream (kernel.go) without per-instance generator state. lifeEvent is
+	// and compaction so removal never scans or shifts the list. hostSlot is
+	// the same idea for host.instances (swap-removal there).
+	slot     int
+	hostSlot int
+	// seq is the instance's creation ordinal within its data center (also
+	// the numeric tail of its ID); together with lifeDraws it addresses the
+	// instance's stateless lifecycle-event stream (kernel.go) without
+	// per-instance generator state. lifeBase pre-mixes the first two words
+	// of that stream's hash — randx.MixStep(dc.lifeMix1, seq) — so each
+	// lifecycle draw costs one mixer round instead of three. lifeEvent is
 	// the intrusive churn/preemption timer, leased from the data center's
-	// event pool on first arm and returned at termination; it fires through
-	// the Instance's simtime.Handler implementation. Keeping the timer pooled
-	// (and the stream cursors narrow) keeps the per-instance allocation
-	// footprint at the pre-kernel size — instance creation is the simulator's
-	// hottest allocation site.
+	// event pool on first arm and returned at termination.
 	seq       uint32
 	lifeDraws uint32
+	lifeBase  uint64
 	lifeEvent *simtime.Event
+
+	// guestStore is the storage ID()'s guest points at; it rides in the
+	// instance slab instead of being a separate allocation per creation.
+	guestStore sandbox.Guest
+
+	// termEvent is the intrusive idle-reaper timer: Disconnect and scale-in
+	// cancel-and-arm it at termAt. A warm reactivation deliberately leaves a
+	// pending reaper armed — the handler checks the instance is still idle
+	// and still due, so a stale firing is a no-op, and the launch-abort
+	// rollback path relies on the original timer surviving the
+	// activate/goIdle round trip untouched.
+	termEvent simtime.Event
 
 	createdAt simtime.Time
 	// readyAt is when the container finished starting and can serve its
@@ -90,8 +114,16 @@ type Instance struct {
 }
 
 // ID returns the platform-assigned instance identity (visible to the tenant,
-// like a Cloud Run instance ID; it reveals nothing about the host).
-func (i *Instance) ID() string { return i.id }
+// like a Cloud Run instance ID; it reveals nothing about the host). The
+// string is formatted on first use: most instances in a fleet-scale world
+// are never asked for their ID, and skipping the eager build keeps creation
+// allocation-free.
+func (i *Instance) ID() string {
+	if i.id == "" {
+		i.id = formatInstanceID(i.service, i.seq)
+	}
+	return i.id
+}
 
 // Service returns the service this instance belongs to.
 func (i *Instance) Service() *Service { return i.service }
@@ -114,7 +146,7 @@ func (i *Instance) StartupLatency() time.Duration { return i.readyAt.Sub(i.creat
 // instance has been terminated.
 func (i *Instance) Guest() (*sandbox.Guest, error) {
 	if i.state == StateTerminated {
-		return nil, fmt.Errorf("faas: instance %s is terminated", i.id)
+		return nil, fmt.Errorf("faas: instance %s is terminated", i.ID())
 	}
 	return i.guest, nil
 }
@@ -161,6 +193,7 @@ func (i *Instance) terminate(now simtime.Time) {
 		i.service.activeCount--
 	}
 	i.service.account.dc.cancelLifecycle(i)
+	i.service.account.dc.platform.sched.Cancel(&i.termEvent)
 	wasIdle := i.state == StateIdle
 	i.state = StateTerminated
 	i.host.detach(i)

@@ -77,13 +77,15 @@ func hazardPerHour(p float64) float64 {
 func (dc *DataCenter) initLifecycleKernel() {
 	dc.churnHazard = hazardPerHour(dc.profile.InstanceChurnPerHour)
 	dc.preemptHazard = hazardPerHour(dc.faults.PreemptionRatePerHour)
-	dc.lifeSeed = dc.rng.Derive("lifecycle").Seed()
+	dc.lifeSeed = dc.rng.DeriveSeed("lifecycle")
+	dc.lifeMix1 = randx.MixInit(dc.lifeSeed)
 }
 
 // lifeU returns the instance's next uniform draw in [0,1) from its stateless
-// lifecycle stream.
+// lifecycle stream: bit-identical to randx.Mix3(lifeSeed, seq, draw#), with
+// the first two mixer rounds pre-folded into lifeBase at creation.
 func (i *Instance) lifeU() float64 {
-	u := randx.Unit(randx.Mix3(i.service.account.dc.lifeSeed, uint64(i.seq), uint64(i.lifeDraws)))
+	u := randx.Unit(randx.MixStep(i.lifeBase, uint64(i.lifeDraws)))
 	i.lifeDraws++
 	return u
 }
@@ -223,12 +225,24 @@ func (dc *DataCenter) cancelLifecycle(inst *Instance) {
 	dc.lifeFree = append(dc.lifeFree, e)
 }
 
-// HandleEvent fires the instance's churn/preemption timer (the Instance is
-// its lifeEvent's simtime.Handler). Idleness lets the timer die (no hazard
-// while disconnected; activate re-arms), and an active instance suffers
-// whichever competing risk the type draw picks: churn recycles it onto a
-// policy-directed host, preemption terminates it without replacement.
-func (i *Instance) HandleEvent(_ *simtime.Event, now simtime.Time) {
+// HandleEvent dispatches the instance's intrusive timers (the Instance is
+// the simtime.Handler for both its idle reaper and its lifecycle timer).
+//
+// The idle reaper (termEvent) terminates the instance if it is still idle
+// and still due — a warm reactivation after the arm leaves the event in
+// place, and this check is what makes the stale firing a no-op.
+//
+// The churn/preemption timer (lifeEvent): idleness lets the timer die (no
+// hazard while disconnected; activate re-arms), and an active instance
+// suffers whichever competing risk the type draw picks — churn recycles it
+// onto a policy-directed host, preemption terminates it without replacement.
+func (i *Instance) HandleEvent(e *simtime.Event, now simtime.Time) {
+	if e == &i.termEvent {
+		if i.state == StateIdle && i.termAt == now {
+			i.terminate(now)
+		}
+		return
+	}
 	if i.state != StateActive {
 		return
 	}

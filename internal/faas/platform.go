@@ -119,14 +119,40 @@ type DataCenter struct {
 	acctSeq   []*Account // creation order, for deterministic iteration
 	nextInst  int
 
+	// instSlab bump-allocates Instance structs in chunks (allocInstance):
+	// one heap allocation per instSlabSize creations. Slots are never reused
+	// — experiment code may hold pointers to terminated instances — so every
+	// *Instance stays valid forever.
+	instSlab []Instance
+
+	// Selection scratch shared by every noisy top-K decision in the region
+	// (pool sampling, helper builds, ranked base selection). Region-level
+	// rather than per-account: an account only samples a handful of times,
+	// so per-account scratch never amortized — at fleet scale the scratch
+	// itself was the dominant selection allocation. Safe because the
+	// simulator is single-threaded and no selection nests inside another.
+	scoreBuf []hostScore
+	hostBuf  []*Host
+
+	// matScratch and deriveScratch are reseed-in-place Sources for derived
+	// streams that are drained and discarded within one call (host
+	// materialization draws, account/service pool sampling, recycle draws).
+	// Two separate scratches because materialization can trigger inside a
+	// placement that is still consuming deriveScratch. Each is dead outside
+	// the call that reseeds it.
+	matScratch    randx.Source
+	deriveScratch randx.Source
+
 	// Per-instance lifecycle kernel (the default; profile.LegacySweeps
 	// restores the historical hourly scan): churnHazard and preemptHazard are
 	// the exponential rates per hour matching the sweep's per-hour Bernoulli
 	// probabilities, and lifeSeed addresses the stateless per-instance draw
-	// streams (randx.Mix3(lifeSeed, instance seq, draw#)).
+	// streams (randx.Mix3(lifeSeed, instance seq, draw#)); lifeMix1 is the
+	// precomputed first mixer round of that hash (randx.MixInit(lifeSeed)).
 	churnHazard   float64
 	preemptHazard float64
 	lifeSeed      uint64
+	lifeMix1      uint64
 	// lifeSlab/lifeFree pool the kernel's per-instance timer slots (see
 	// allocLifeEvent): slabs amortize allocation, the free list recycles
 	// slots of terminated instances. nursery is the cohort collecting the
@@ -230,12 +256,27 @@ func (dc *DataCenter) Account(id string) *Account {
 	return a
 }
 
-// nextInstanceID mints a platform-unique instance identity. This runs once
-// per created instance — the single hottest allocation site in the whole
-// simulator — so it formats "<account>/<service>-<seq %06d>" by hand instead
-// of through fmt.Sprintf.
-func (dc *DataCenter) nextInstanceID(svc *Service) string {
-	dc.nextInst++
+// instSlabSize is the chunk size of the data center's instance slab.
+const instSlabSize = 512
+
+// allocInstance returns a zeroed Instance slot from the slab. Creation is
+// the simulator's hottest path; the slab amortizes it to one heap
+// allocation per instSlabSize instances, and because slots are never
+// recycled, pointers held by experiment code outlive termination safely.
+func (dc *DataCenter) allocInstance() *Instance {
+	if len(dc.instSlab) == 0 {
+		dc.instSlab = make([]Instance, instSlabSize)
+	}
+	inst := &dc.instSlab[0]
+	dc.instSlab = dc.instSlab[1:]
+	return inst
+}
+
+// formatInstanceID renders the platform-assigned instance identity,
+// "<account>/<service>-<seq %06d>". It runs lazily — Instance.ID caches the
+// result on first call — because most instances in a fleet-scale world are
+// never asked for their ID; hand-formatting keeps the forced path cheap.
+func formatInstanceID(svc *Service, seq uint32) string {
 	var b strings.Builder
 	b.Grow(len(svc.account.id) + len(svc.name) + 8)
 	b.WriteString(svc.account.id)
@@ -243,7 +284,7 @@ func (dc *DataCenter) nextInstanceID(svc *Service) string {
 	b.WriteString(svc.name)
 	b.WriteByte('-')
 	var tmp [20]byte
-	digits := strconv.AppendInt(tmp[:0], int64(dc.nextInst), 10)
+	digits := strconv.AppendInt(tmp[:0], int64(seq), 10)
 	for i := len(digits); i < 6; i++ {
 		b.WriteByte('0')
 	}
@@ -316,15 +357,15 @@ func (dc *DataCenter) scheduleChurnSweep() {
 // uses to detect when a victim program runs (threat model step 2).
 func ProbeContention(prober *Instance) (int, error) {
 	if prober.state == StateTerminated {
-		return 0, fmt.Errorf("faas: probe from terminated instance %s", prober.id)
+		return 0, fmt.Errorf("faas: probe from terminated instance %s", prober.ID())
 	}
 	h := prober.host
 	if h.ProbeFault() {
-		return 0, fmt.Errorf("faas: contention probe from %s: %w", prober.id, ErrProbeFault)
+		return 0, fmt.Errorf("faas: contention probe from %s: %w", prober.ID(), ErrProbeFault)
 	}
 	now := h.dc.platform.sched.Now()
 	units := 0
-	for inst := range h.instances {
+	for _, inst := range h.instances {
 		if inst == prober {
 			continue
 		}

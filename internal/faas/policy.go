@@ -27,7 +27,9 @@ type PlacementPolicy interface {
 
 	// NewService is called once when a service is deployed and returns the
 	// policy's opaque per-service state (nil when the policy keeps none).
-	// rng is the service's dedicated placement-preference sub-stream.
+	// rng is the service's dedicated placement-preference sub-stream; it is
+	// deployment-time scratch, valid only for the duration of the call —
+	// policies must not retain it in their state.
 	NewService(svc *Service, rng *randx.Source) any
 
 	// Place assigns hosts to req.Count new instances by spawning them

@@ -156,26 +156,26 @@ const rankNoise = 3.0
 // repeated cold launches slowly explore the pool tail (Fig. 7's slight
 // cumulative growth).
 //
-// The returned slice is backed by per-account scratch: valid until the
-// account's next selection, which is fine for its one consumer (an immediate
+// The returned slice is backed by region-level scratch: valid until the
+// region's next selection, which is fine for its one consumer (an immediate
 // PlacementBatch.Spread).
 func rankedBaseSelection(rng *randx.Source, a *Account, pool []*Host, hostCount int) []*Host {
-	out := a.hostBuf[:0]
+	out := a.dc.hostBuf[:0]
 	if hostCount >= len(pool) {
 		out = append(out, pool...)
-		a.hostBuf = out[:0]
+		a.dc.hostBuf = out[:0]
 		return out
 	}
-	cand := a.scoreBuf[:0]
+	cand := a.dc.scoreBuf[:0]
 	for i, h := range pool {
 		cand = append(cand, hostScore{h: h, score: float64(i) + rng.Normal(0, rankNoise)})
 	}
-	a.scoreBuf = cand[:0]
-	topK(cand, hostCount, byScore)
+	a.dc.scoreBuf = cand[:0]
+	topK(cand, hostCount, byScore{})
 	for i := 0; i < hostCount; i++ {
 		out = append(out, cand[i].h)
 	}
-	a.hostBuf = out[:0]
+	a.dc.hostBuf = out[:0]
 	return out
 }
 
@@ -194,12 +194,12 @@ func recycleBaseDraw(svc *Service, oldID string) *Host {
 		// of the whole pool (no scoring draws), then a uniform pick.
 		return pool[svc.rng.Intn(len(pool))]
 	}
-	rng := svc.rng.Derive("recycle", oldID)
-	cand := a.scoreBuf[:0]
+	rng := svc.rng.DeriveInto(&a.dc.deriveScratch, "recycle", oldID)
+	cand := a.dc.scoreBuf[:0]
 	for i, h := range pool {
 		cand = append(cand, hostScore{h: h, score: float64(i) + rng.Normal(0, rankNoise)})
 	}
-	a.scoreBuf = cand[:0]
+	a.dc.scoreBuf = cand[:0]
 	k := svc.rng.Intn(hostCount)
-	return selectRank(cand, k, byScore)
+	return selectRank(cand, k, byScore{})
 }

@@ -125,7 +125,7 @@ func TestLeastLoadedBalances(t *testing.T) {
 	}
 	for _, inst := range insts {
 		h := inst.host
-		for other := range h.instances {
+		for _, other := range h.instances {
 			if other.service.account.id != "a2" {
 				t.Fatalf("second tenant shares host %d with %s despite empty hosts remaining",
 					h.id, other.service.account.id)

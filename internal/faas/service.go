@@ -59,7 +59,7 @@ type Service struct {
 	// per-launch counts of image-cold hosts (hosts used by a launch that
 	// had never run the service — each costs an image pull and a slow
 	// start).
-	seenHosts       []bool
+	seenHosts       hostBitset
 	coldLaunchHosts int
 	usedLaunchHosts int
 }
@@ -74,8 +74,8 @@ func newService(a *Account, name string, cfg ServiceConfig) *Service {
 		rng:            rng,
 		maxConcurrency: cfg.MaxConcurrency,
 	}
-	s.seenHosts = make([]bool, len(a.dc.hosts))
-	s.policyState = a.dc.policy.NewService(s, rng.Derive("helperset"))
+	s.seenHosts = newHostBitset(len(a.dc.hosts))
+	s.policyState = a.dc.policy.NewService(s, rng.DeriveInto(&a.dc.deriveScratch, "helperset"))
 	return s
 }
 
@@ -269,8 +269,8 @@ func (s *Service) Launch(n int) ([]*Instance, error) {
 		}
 		h.mark = mark
 		s.usedLaunchHosts++
-		if !s.seenHosts[h.id] {
-			s.seenHosts[h.id] = true
+		if !s.seenHosts.get(h.id) {
+			s.seenHosts.set(h.id)
 			s.coldLaunchHosts++
 		}
 	}
@@ -355,7 +355,7 @@ func (s *Service) startupLatency(h *Host) time.Duration {
 		median = gen2StartupMedian
 	}
 	d := s.rng.LogNormal(logDur(median), startupSigma)
-	if !s.seenHosts[h.id] {
+	if !s.seenHosts.get(h.id) {
 		d += s.rng.LogNormal(logDur(imagePullMedian), startupSigma)
 	}
 	return time.Duration(d)
@@ -364,20 +364,26 @@ func (s *Service) startupLatency(h *Host) time.Duration {
 // logDur returns ln(d in nanoseconds) for lognormal medians.
 func logDur(d time.Duration) float64 { return math.Log(float64(d)) }
 
-// createInstance materializes a new active instance on the given host.
+// createInstance materializes a new active instance on the given host. The
+// struct comes from the data center's slab, the guest is initialized in
+// place, and the ID string is deferred to the first ID() call — steady-state
+// creation performs no per-instance heap allocation of its own. Draw order
+// is frozen: the startup-latency draw (service stream) precedes the guest's
+// noise draws (host stream), as it always has.
 func (s *Service) createInstance(h *Host, now simtime.Time) *Instance {
 	dc := s.account.dc
-	inst := &Instance{
-		id:          dc.nextInstanceID(s),
-		service:     s,
-		host:        h,
-		state:       StateActive,
-		createdAt:   now,
-		readyAt:     now.Add(s.startupLatency(h)),
-		activeSince: now,
-	}
+	dc.nextInst++
+	inst := dc.allocInstance()
+	inst.service = s
+	inst.host = h
+	inst.state = StateActive
+	inst.createdAt = now
+	inst.readyAt = now.Add(s.startupLatency(h))
+	inst.activeSince = now
 	inst.seq = uint32(dc.nextInst)
-	inst.guest = sandbox.NewGuest(h, s.gen)
+	inst.lifeBase = randx.MixStep(dc.lifeMix1, uint64(inst.seq))
+	sandbox.InitGuest(&inst.guestStore, h, s.gen)
+	inst.guest = &inst.guestStore
 	h.attach(inst)
 	inst.slot = len(s.insts)
 	s.insts = append(s.insts, inst)
@@ -400,16 +406,15 @@ func (s *Service) Disconnect() {
 		}
 		inst.goIdle(now)
 		// Uniform spread over (grace, grace+span]: matches the near-linear
-		// decay the paper measured.
+		// decay the paper measured. The reaper is the instance's intrusive
+		// termEvent — cancel-and-arm, no closure, no allocation; the handler
+		// re-checks idleness and dueness, so a warm reactivation before
+		// termAt safely leaves the event pending.
 		delay := p.IdleGrace + time.Duration(s.rng.Range(0, float64(p.IdleTerminationSpan)))
 		at := now.Add(delay)
 		inst.termAt = at
-		inst := inst
-		sched.At(at, func(t simtime.Time) {
-			if inst.state == StateIdle && inst.termAt == at {
-				inst.terminate(t)
-			}
-		})
+		sched.Cancel(&inst.termEvent)
+		sched.ArmHandler(&inst.termEvent, at, inst)
 	}
 }
 
@@ -426,7 +431,7 @@ func (s *Service) TerminateAll() {
 // models the platform occasionally migrating long-running instances.
 func (s *Service) recycle(inst *Instance, now simtime.Time) {
 	inst.terminate(now)
-	h := s.account.dc.policy.Recycle(s, inst.id, now)
+	h := s.account.dc.policy.Recycle(s, inst.ID(), now)
 	s.createInstance(h, now)
 	s.account.dc.trace(PlacementEvent{
 		Account: s.account.id, Service: s.name, Kind: TraceRecycle,

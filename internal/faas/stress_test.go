@@ -26,17 +26,17 @@ func TestPlatformInvariantsUnderRandomOps(t *testing.T) {
 					continue
 				}
 				if inst.state == StateTerminated {
-					t.Fatalf("terminated instance %s still listed in service", inst.id)
+					t.Fatalf("terminated instance %s still listed in service", inst.ID())
 				}
-				if _, ok := inst.host.instances[inst]; !ok {
-					t.Fatalf("instance %s not attached to its host", inst.id)
+				if inst.hostSlot >= len(inst.host.instances) || inst.host.instances[inst.hostSlot] != inst {
+					t.Fatalf("instance %s not attached to its host", inst.ID())
 				}
 			}
 		}
 		for _, h := range dc.hosts {
-			for inst := range h.instances {
+			for _, inst := range h.instances {
 				if inst.state == StateTerminated {
-					t.Fatalf("host %d retains terminated instance %s", h.id, inst.id)
+					t.Fatalf("host %d retains terminated instance %s", h.id, inst.ID())
 				}
 			}
 		}

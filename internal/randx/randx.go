@@ -7,47 +7,151 @@
 package randx
 
 import (
-	"hash/fnv"
 	"math"
 	"math/rand"
 )
 
-// Source is a deterministic random source. It wraps math/rand with the
-// distribution helpers the simulator needs (normal, laplace, exponential,
-// bounded ints, shuffles) and with stable sub-stream derivation.
+// Source is a deterministic random source. It wraps the simulator's
+// stdlib-identical generator state (rngState) with the distribution helpers
+// the simulator needs (normal, laplace, exponential, bounded ints, shuffles)
+// and with stable sub-stream derivation. The stdlib distributions run
+// through *rand.Rand over that state, so every draw is bit-identical to a
+// rand.New(rand.NewSource(seed)) stream — while the state itself stays
+// cloneable for world snapshots.
 type Source struct {
-	rng  *rand.Rand
+	// rng and st are stored by value so a Source is one allocation; rng's
+	// internal source pointer refers to &st, restored by wire() whenever a
+	// Source is created or copied.
+	rng  rand.Rand
+	st   rngState
 	seed uint64
 }
 
+// wire points s.rng at s.st. rand.New inlines, so the temporary Rand it
+// builds stays on the stack and only its value is kept.
+func (s *Source) wire() { s.rng = *rand.New(&s.st) }
+
 // New returns a Source seeded with the given seed.
 func New(seed uint64) *Source {
-	return &Source{
-		rng:  rand.New(rand.NewSource(int64(seed))),
-		seed: seed,
-	}
+	s := &Source{seed: seed}
+	s.st.Seed(int64(seed))
+	s.wire()
+	return s
 }
+
+// Reseed reinitializes s in place to exactly the state New(seed) would
+// return: the same stream from the top, with no allocation. It exists for
+// scratch Sources that are derived, drained, and discarded in one scope
+// (per-host materialization, recycle draws, pool sampling) — the dominant
+// randx allocation sites once streams themselves got cheap.
+func (s *Source) Reseed(seed uint64) {
+	s.seed = seed
+	s.st.Seed(int64(seed))
+	s.wire()
+}
+
+// DeriveInto is Derive(labels...) into an existing Source: dst is reseeded
+// in place to the identical derived stream and returned. dst must not be in
+// use by any live caller (the simulator's scratch sources are single-purpose
+// and the simulator is single-threaded, which is what makes this safe).
+func (s *Source) DeriveInto(dst *Source, labels ...string) *Source {
+	dst.Reseed(s.DeriveSeed(labels...))
+	return dst
+}
+
+// DeriveIndexedInto is DeriveIndexed(label, idx) into an existing Source,
+// under the same aliasing contract as DeriveInto.
+func (s *Source) DeriveIndexedInto(dst *Source, label string, idx int) *Source {
+	dst.Reseed(s.deriveIndexedSeed(label, idx))
+	return dst
+}
+
+// Clone returns an independent copy of the source at its exact current
+// stream position: both copies produce the identical remaining sequence, and
+// drawing from one never affects the other. (The wrapped rand.Rand carries
+// no draw state of its own beyond Read buffering, which Source never uses.)
+func (s *Source) Clone() *Source {
+	c := &Source{st: s.st, seed: s.seed}
+	c.wire()
+	return c
+}
+
+// fnv64a constants (hash/fnv, hand-rolled so Derive allocates nothing
+// beyond the new Source itself).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
 
 // Derive returns a new Source whose seed is a stable hash of the parent seed
 // and the given labels. Deriving with the same labels always yields the same
 // stream; different labels yield independent streams. Derive does not consume
 // randomness from the parent.
 func (s *Source) Derive(labels ...string) *Source {
-	h := fnv.New64a()
-	var buf [8]byte
-	putUint64(buf[:], s.seed)
-	h.Write(buf[:])
-	for _, l := range labels {
-		h.Write([]byte{0}) // separator so ("ab","c") != ("a","bc")
-		h.Write([]byte(l))
-	}
-	return New(h.Sum64())
+	return New(s.DeriveSeed(labels...))
 }
 
-func putUint64(b []byte, v uint64) {
-	for i := 0; i < 8; i++ {
-		b[i] = byte(v >> (8 * i))
+// DeriveSeed returns the seed Derive would build a stream from — the FNV-64a
+// hash of the parent seed (little-endian) and the NUL-separated labels —
+// without constructing the stream.
+func (s *Source) DeriveSeed(labels ...string) uint64 {
+	h := uint64(fnvOffset64)
+	for v, i := s.seed, 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime64
+		v >>= 8
 	}
+	for _, l := range labels {
+		h = (h ^ 0) * fnvPrime64 // separator so ("ab","c") != ("a","bc")
+		for i := 0; i < len(l); i++ {
+			h = (h ^ uint64(l[i])) * fnvPrime64
+		}
+	}
+	return h
+}
+
+// DeriveIndexed is Derive(label, strconv.Itoa(idx)) without building the
+// index string: the decimal digits are hashed directly. It exists for
+// per-entity stream derivation over dense integer identities (one stream per
+// host), where the throwaway label string was a measurable allocation.
+func (s *Source) DeriveIndexed(label string, idx int) *Source {
+	return New(s.deriveIndexedSeed(label, idx))
+}
+
+// deriveIndexedSeed is DeriveSeed(label, strconv.Itoa(idx)) with the digits
+// hashed from a stack buffer.
+func (s *Source) deriveIndexedSeed(label string, idx int) uint64 {
+	h := uint64(fnvOffset64)
+	for v, i := s.seed, 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime64
+		v >>= 8
+	}
+	h = (h ^ 0) * fnvPrime64
+	for i := 0; i < len(label); i++ {
+		h = (h ^ uint64(label[i])) * fnvPrime64
+	}
+	h = (h ^ 0) * fnvPrime64
+	var buf [20]byte
+	n := len(buf)
+	u := uint64(idx)
+	if idx < 0 {
+		u = uint64(-idx)
+	}
+	for {
+		n--
+		buf[n] = '0' + byte(u%10)
+		u /= 10
+		if u == 0 {
+			break
+		}
+	}
+	if idx < 0 {
+		n--
+		buf[n] = '-'
+	}
+	for ; n < len(buf); n++ {
+		h = (h ^ uint64(buf[n])) * fnvPrime64
+	}
+	return h
 }
 
 // Seed reports the seed this source was created with.
@@ -146,16 +250,23 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
+// MixInit starts a mixer chain: the first round of Mix3. Callers that hash
+// many values sharing a prefix (every lifecycle draw of one data center
+// shares the seed word; every draw of one instance also shares the identity
+// word) precompute the shared rounds once and finish with MixStep per draw.
+func MixInit(a uint64) uint64 { return mix64(a + splitmixGamma) }
+
+// MixStep folds one more word into a mixer chain started by MixInit.
+// MixStep(MixStep(MixInit(a), b), c) == Mix3(a, b, c), bit for bit.
+func MixStep(x, b uint64) uint64 { return mix64(x + b + splitmixGamma) }
+
 // Mix3 hashes three words into one well-distributed 64-bit value by chaining
 // the SplitMix64 finalizer with golden-ratio increments. It is stateless and
 // allocation-free: where Derive pays ~5 KB of generator state per stream,
 // Mix3 lets millions of fine-grained consumers (per-instance lifecycle
 // events) each own a logical stream addressed by (seed, identity, draw#).
 func Mix3(a, b, c uint64) uint64 {
-	x := mix64(a + splitmixGamma)
-	x = mix64(x + b + splitmixGamma)
-	x = mix64(x + c + splitmixGamma)
-	return x
+	return MixStep(MixStep(MixInit(a), b), c)
 }
 
 // Unit maps a 64-bit value to a uniform float64 in [0, 1) using its top 53

@@ -111,7 +111,17 @@ type Guest struct {
 // host. For Gen 2, the hypervisor records the host TSC at VM boot and offsets
 // all guest reads by it.
 func NewGuest(env HostEnv, gen Gen) *Guest {
-	g := &Guest{
+	g := &Guest{}
+	InitGuest(g, env, gen)
+	return g
+}
+
+// InitGuest is NewGuest initializing g in place, for callers that embed the
+// Guest inside a larger allocation (faas embeds one per instance — instance
+// creation is the simulator's hottest allocation site). Draw order matches
+// NewGuest exactly.
+func InitGuest(g *Guest, env HostEnv, gen Gen) {
+	*g = Guest{
 		env:         env,
 		gen:         gen,
 		clockOffset: env.Noise().SampleGuestOffset(env.NoiseRNG()),
@@ -122,7 +132,16 @@ func NewGuest(env HostEnv, gen Gen) *Guest {
 	if gen == Gen2 {
 		g.tscOffset = env.Counter().ReadAt(env.Now())
 	}
-	return g
+}
+
+// CloneInto copies g's observable state into dst, swapping the host
+// environment handle for env — the world-snapshot path, where dst belongs to
+// a cloned instance resident on the cloned counterpart of g's host. Offsets,
+// epochs, and the timer-read count carry over, so the clone's future reads
+// are byte-identical to the original's.
+func (g *Guest) CloneInto(dst *Guest, env HostEnv) {
+	*dst = *g
+	dst.env = env
 }
 
 // Gen returns the execution environment generation.

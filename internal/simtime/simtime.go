@@ -296,6 +296,43 @@ func (s *Scheduler) Step() bool {
 	return true
 }
 
+// Clone returns a deep copy of the scheduler for world snapshotting: the
+// clock, insertion counter, executed count, and the entire pending queue
+// carry over, so the copy replays the exact event sequence the original
+// would. Pending events are caller-owned objects the scheduler cannot
+// duplicate itself; remap is called once per pending event and must return
+// the cloned world's counterpart Event (typically the same field embedded in
+// the cloned owner) together with the handler it should fire into. The
+// queue is copied slot for slot, so each cloned event keeps the original's
+// deadline, tie-break sequence, and heap position — firing order is
+// byte-identical by construction.
+//
+// Closure events (Schedule/At, the legacy-sweep style) cannot be remapped —
+// a closure captures the old world — so a queue containing one is a Clone
+// error. The event kernel and every intrusive timer use Handler events.
+func (s *Scheduler) Clone(remap func(old *Event, h Handler) (*Event, Handler)) (*Scheduler, error) {
+	c := &Scheduler{now: s.now, nextID: s.nextID, executed: s.executed}
+	if len(s.queue) == 0 {
+		return c, nil
+	}
+	c.queue = make(eventHeap, len(s.queue))
+	for i, e := range s.queue {
+		if e.fn != nil {
+			return nil, fmt.Errorf("simtime: cannot clone pending closure event (deadline %v); only Handler events are remappable", e.at)
+		}
+		ne, h := remap(e, e.h)
+		if ne == nil {
+			return nil, fmt.Errorf("simtime: remap returned no counterpart for pending event (deadline %v)", e.at)
+		}
+		if ne.pos != 0 {
+			return nil, fmt.Errorf("simtime: remap returned an event that is already pending (deadline %v)", e.at)
+		}
+		ne.at, ne.seq, ne.h, ne.pos = e.at, e.seq, h, e.pos
+		c.queue[i] = ne
+	}
+	return c, nil
+}
+
 // RunUntil executes every event with deadline <= t (including events those
 // events schedule, as long as they also fall within t), then advances the
 // clock to exactly t.

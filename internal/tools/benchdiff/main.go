@@ -5,12 +5,24 @@
 //
 //	go run ./internal/tools/benchdiff BENCH_baseline.json BENCH_pr3.json
 //	go run ./internal/tools/benchdiff -threshold 0.10 old.json new.json
+//	go run ./internal/tools/benchdiff -gate 25 BENCH_pr7.json BENCH_pr8.json
 //
 // For every benchmark present in both records it prints base/head ns/op, the
 // speedup factor (base/head, >1 is faster), and the allocs/op movement.
-// Benchmarks only in one record are listed but never fail the run. Exit
-// status is 1 if any shared benchmark's ns/op grew by more than -threshold
-// (fractional; default 0.25 to absorb timer noise at Quick scale).
+// Benchmarks only in one record are listed but never fail the run.
+//
+// The default mode guards ns/op only: exit status is 1 if any shared
+// benchmark's ns/op grew by more than -threshold (fractional; default 0.25
+// to absorb timer noise at Quick scale). Gate mode (-gate P, in percent)
+// additionally guards the allocation and kernel-throughput budgets,
+// direction-aware: B/op, allocs/op, and the allocs/event custom metric must
+// not grow by more than P%, and the events/sec custom metric must not drop
+// by more than P%. Result-shaped custom metrics (coverage, fmi, tests, ...)
+// are never gated — those are pinned exactly by the golden digest suite, not
+// bounded by a noise band. In gate mode the ns/op check also skips
+// microbenchmarks whose base is under 100µs: at that duration timer noise
+// alone swings past any reasonable band, while the benchmarks' allocation
+// budgets — which are deterministic — remain fully gated.
 package main
 
 import (
@@ -24,9 +36,10 @@ import (
 
 func main() {
 	threshold := flag.Float64("threshold", 0.25, "max tolerated fractional ns/op growth before failing")
+	gate := flag.Float64("gate", 0, "percent regression gate over ns/op, B/op, allocs/op, events/sec, allocs/event (0 = ns/op-only threshold mode)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold F] BASE.json HEAD.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold F | -gate P] BASE.json HEAD.json")
 		os.Exit(2)
 	}
 	base, err := benchfmt.Read(flag.Arg(0))
@@ -39,18 +52,66 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(1)
 	}
-	regressions := diff(os.Stdout, base, head, *threshold)
+	frac := *threshold
+	if *gate > 0 {
+		frac = *gate / 100
+	}
+	regressions := diff(os.Stdout, base, head, frac, *gate > 0)
 	if regressions > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed beyond %.0f%%\n", regressions, *threshold*100)
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) beyond %.0f%%\n", regressions, frac*100)
 		os.Exit(1)
 	}
 }
 
-// diff prints the comparison table and returns the number of shared
-// benchmarks whose ns/op grew beyond the fractional threshold.
-func diff(w io.Writer, base, head *benchfmt.File, threshold float64) int {
+// gatedMetric is one budget the -gate mode guards beyond ns/op.
+type gatedMetric struct {
+	unit         string
+	higherBetter bool
+	value        func(benchfmt.Benchmark) (float64, bool)
+}
+
+var gatedMetrics = []gatedMetric{
+	{unit: "B/op", value: func(b benchfmt.Benchmark) (float64, bool) {
+		return b.BytesPerOp, b.BytesPerOp > 0
+	}},
+	{unit: "allocs/op", value: func(b benchfmt.Benchmark) (float64, bool) {
+		return b.AllocsPerOp, b.AllocsPerOp > 0
+	}},
+	{unit: "allocs/event", value: func(b benchfmt.Benchmark) (float64, bool) {
+		v, ok := b.Metrics["allocs/event"]
+		return v, ok
+	}},
+	{unit: "events/sec", higherBetter: true, value: func(b benchfmt.Benchmark) (float64, bool) {
+		v, ok := b.Metrics["events/sec"]
+		return v, ok && v > 0
+	}},
+}
+
+// nsGateFloor is the base ns/op below which gate mode stops guarding ns/op:
+// sub-100µs benchmarks are timer-noise-dominated (observed swings >60% on an
+// idle machine), so gating them would fail spuriously. Their B/op and
+// allocs/op budgets are deterministic and stay gated.
+const nsGateFloor = 100_000
+
+// regressed reports whether head moved in the bad direction by more than the
+// fractional threshold relative to base.
+func regressed(base, head float64, higherBetter bool, threshold float64) bool {
+	if higherBetter {
+		return head < base*(1-threshold)
+	}
+	return head > base*(1+threshold)
+}
+
+// diff prints the comparison table and returns the number of regressions
+// beyond the fractional threshold: ns/op growth always, plus the
+// direction-aware gated metrics when gate mode is on.
+func diff(w io.Writer, base, head *benchfmt.File, threshold float64, gate bool) int {
 	baseBy := base.ByName()
-	fmt.Fprintf(w, "benchdiff: %s -> %s (threshold %.0f%%)\n", base.Label, head.Label, threshold*100)
+	mode := "threshold"
+	if gate {
+		mode = "gate"
+	}
+	fmt.Fprintf(w, "benchdiff: %s -> %s (%s %.0f%%)\n", base.Label, head.Label, mode, threshold*100)
 	fmt.Fprintf(w, "%-45s %14s %14s %8s %18s\n", "benchmark", "base ns/op", "head ns/op", "speedup", "allocs/op")
 	regressions := 0
 	matched := make(map[string]bool, len(head.Benchmarks))
@@ -66,13 +127,35 @@ func diff(w io.Writer, base, head *benchfmt.File, threshold float64) int {
 			speedup = bb.NsPerOp / hb.NsPerOp
 		}
 		status := ""
-		if bb.NsPerOp > 0 && hb.NsPerOp > bb.NsPerOp*(1+threshold) {
-			status = "  REGRESSION"
-			regressions++
+		if bb.NsPerOp > 0 && regressed(bb.NsPerOp, hb.NsPerOp, false, threshold) {
+			if gate && bb.NsPerOp < nsGateFloor {
+				status = "  (noise: under ns/op gate floor)"
+			} else {
+				status = "  REGRESSION"
+				regressions++
+			}
 		}
 		allocs := fmt.Sprintf("%.0f -> %.0f", bb.AllocsPerOp, hb.AllocsPerOp)
 		fmt.Fprintf(w, "%-45s %14.0f %14.0f %7.2fx %18s%s\n",
 			hb.Name, bb.NsPerOp, hb.NsPerOp, speedup, allocs, status)
+		if !gate {
+			continue
+		}
+		for _, m := range gatedMetrics {
+			bv, bok := m.value(bb)
+			hv, hok := m.value(hb)
+			// A budget only binds when both records carry it: records
+			// taken without -benchmem, or benchmarks without the kernel
+			// metrics, have nothing to compare.
+			if !bok || !hok {
+				continue
+			}
+			if regressed(bv, hv, m.higherBetter, threshold) {
+				fmt.Fprintf(w, "%-45s %14.4g %14.4g %8s %18s  REGRESSION\n",
+					"  "+m.unit, bv, hv, "", "")
+				regressions++
+			}
+		}
 	}
 	for _, bb := range base.Benchmarks {
 		if !matched[bb.Name] {

@@ -23,7 +23,7 @@ func TestDiffSpeedupAndRegression(t *testing.T) {
 		benchfmt.Benchmark{Name: "BenchmarkNew", NsPerOp: 70},
 	)
 	var out strings.Builder
-	regressions := diff(&out, base, head, 0.25)
+	regressions := diff(&out, base, head, 0.25, false)
 	if regressions != 1 {
 		t.Errorf("regressions = %d, want 1 (only BenchmarkSlow doubled)", regressions)
 	}
@@ -45,11 +45,79 @@ func TestDiffWithinThresholdPasses(t *testing.T) {
 	base := rec("a", benchfmt.Benchmark{Name: "BenchmarkX", NsPerOp: 100})
 	head := rec("b", benchfmt.Benchmark{Name: "BenchmarkX", NsPerOp: 120})
 	var out strings.Builder
-	if n := diff(&out, base, head, 0.25); n != 0 {
+	if n := diff(&out, base, head, 0.25, false); n != 0 {
 		t.Errorf("20%% growth under a 25%% threshold flagged: %d", n)
 	}
 	// Tighten the threshold and the same pair fails.
-	if n := diff(&out, base, head, 0.10); n != 1 {
+	if n := diff(&out, base, head, 0.10, false); n != 1 {
 		t.Errorf("20%% growth over a 10%% threshold not flagged: %d", n)
+	}
+}
+
+// TestGateGuardsBudgets pins the -gate mode's extra, direction-aware checks:
+// allocation budgets and the kernel's allocs/event must not grow, events/sec
+// must not drop, and result-shaped custom metrics are never gated.
+func TestGateGuardsBudgets(t *testing.T) {
+	base := rec("pr7",
+		benchfmt.Benchmark{Name: "BenchmarkScaleKernel", NsPerOp: 1000, BytesPerOp: 500, AllocsPerOp: 100,
+			Metrics: map[string]float64{"events/sec": 500000, "allocs/event": 1.8, "coverage": 0.9}},
+	)
+	pass := rec("pr8",
+		benchfmt.Benchmark{Name: "BenchmarkScaleKernel", NsPerOp: 900, BytesPerOp: 480, AllocsPerOp: 90,
+			Metrics: map[string]float64{"events/sec": 900000, "allocs/event": 0.19, "coverage": 0.9}},
+	)
+	var out strings.Builder
+	if n := diff(&out, base, pass, 0.25, true); n != 0 {
+		t.Errorf("all-improved record flagged %d regressions:\n%s", n, out.String())
+	}
+
+	fail := rec("bad",
+		benchfmt.Benchmark{Name: "BenchmarkScaleKernel", NsPerOp: 1100, BytesPerOp: 700, AllocsPerOp: 140,
+			Metrics: map[string]float64{"events/sec": 300000, "allocs/event": 2.5, "coverage": 0.1}},
+	)
+	out.Reset()
+	// ns/op grew 10% (inside the gate); B/op +40%, allocs/op +40%,
+	// allocs/event +39%, events/sec -40% all regress. coverage moving is
+	// not a gated budget.
+	if n := diff(&out, base, fail, 0.25, true); n != 4 {
+		t.Errorf("regressions = %d, want 4 (B/op, allocs/op, allocs/event, events/sec):\n%s", n, out.String())
+	}
+	for _, want := range []string{"B/op", "allocs/event", "events/sec"} {
+		if !strings.Contains(out.String(), want+" ") && !strings.Contains(out.String(), "  "+want) {
+			t.Errorf("gate output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// Without gate mode the same pair passes: only ns/op is guarded.
+	out.Reset()
+	if n := diff(&out, base, fail, 0.25, false); n != 0 {
+		t.Errorf("threshold mode flagged gated-only regressions: %d", n)
+	}
+}
+
+// TestGateSkipsMicrobenchmarkNsOp pins the ns/op noise floor: gate mode does
+// not fail on timing swings of sub-100µs benchmarks (timer noise dominates
+// there), but their deterministic allocation budgets stay gated — and
+// threshold mode keeps its historical behavior of guarding every ns/op.
+func TestGateSkipsMicrobenchmarkNsOp(t *testing.T) {
+	base := rec("pr7", benchfmt.Benchmark{Name: "BenchmarkTiny", NsPerOp: 4000, AllocsPerOp: 54})
+	head := rec("pr8", benchfmt.Benchmark{Name: "BenchmarkTiny", NsPerOp: 8000, AllocsPerOp: 54})
+	var out strings.Builder
+	if n := diff(&out, base, head, 0.25, true); n != 0 {
+		t.Errorf("gate flagged a sub-floor ns/op swing: %d\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "noise") {
+		t.Errorf("skipped swing not annotated:\n%s", out.String())
+	}
+	if n := diff(&out, base, head, 0.25, false); n != 1 {
+		t.Errorf("threshold mode lost its ns/op guard: %d", n)
+	}
+
+	// Allocation budgets have no floor: a tiny benchmark that doubles its
+	// allocs still regresses.
+	leaky := rec("bad", benchfmt.Benchmark{Name: "BenchmarkTiny", NsPerOp: 4100, AllocsPerOp: 108})
+	out.Reset()
+	if n := diff(&out, base, leaky, 0.25, true); n != 1 {
+		t.Errorf("alloc growth on a tiny benchmark not gated: %d\n%s", n, out.String())
 	}
 }

@@ -19,8 +19,8 @@ func TestParseSampleOutput(t *testing.T) {
 	if rec.Label != "sample" || rec.GoOS != "linux" || rec.GoArch != "amd64" || rec.Pkg != "eaao" {
 		t.Errorf("header mismatch: %+v", rec)
 	}
-	if len(rec.Benchmarks) != 4 {
-		t.Fatalf("parsed %d benchmarks, want 4", len(rec.Benchmarks))
+	if len(rec.Benchmarks) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5", len(rec.Benchmarks))
 	}
 
 	by := rec.ByName()
@@ -43,6 +43,20 @@ func TestParseSampleOutput(t *testing.T) {
 	}
 	if len(cr.Metrics) != 0 {
 		t.Errorf("standard units leaked into Metrics: %v", cr.Metrics)
+	}
+
+	// The kernel-throughput budgets bench-gate guards (events/sec up,
+	// allocs/event down) must round-trip through the JSON Metrics map next
+	// to the standard -benchmem fields.
+	sk := by["BenchmarkScaleKernel"]
+	if got := sk.Metrics["events/sec"]; got != 541759 {
+		t.Errorf("events/sec = %v, want 541759", got)
+	}
+	if got := sk.Metrics["allocs/event"]; got != 1.805 {
+		t.Errorf("allocs/event = %v, want 1.805", got)
+	}
+	if sk.BytesPerOp != 9478124 || sk.AllocsPerOp != 19367 {
+		t.Errorf("scale kernel -benchmem fields misparsed: %+v", sk)
 	}
 }
 
