@@ -3,9 +3,9 @@ GO ?= go
 .PHONY: check lint race bench bench-scale bench-json bench-diff bench-gate run-all
 
 # Tier-1 gate: lint (gofmt + vet), build, test, a race pass over the fault
-# plane and its attack-side recovery paths, quick fault-sweep and event-kernel
-# smoke runs, and a smoke run of the benchmark record tooling against the
-# checked-in fixture.
+# plane and its attack-side recovery paths, quick fault-sweep/multiregion/
+# channel-ablation and event-kernel smoke runs, and a smoke run of the
+# benchmark record tooling against the checked-in fixture.
 check: lint bench-scale bench-gate
 	$(GO) build ./...
 	$(GO) test ./...
@@ -14,6 +14,8 @@ check: lint bench-scale bench-gate
 	@echo "faultsweep smoke OK"
 	@$(GO) run ./cmd/eaao -quick run multiregion >/dev/null
 	@echo "multiregion smoke OK"
+	@$(GO) run ./cmd/eaao -quick run channelablation >/dev/null
+	@echo "channelablation smoke OK"
 	@$(GO) run ./internal/tools/benchjson -label smoke \
 		-in internal/tools/benchfmt/testdata/sample_bench.txt -out /tmp/BENCH_smoke.json
 	@$(GO) run ./internal/tools/benchdiff /tmp/BENCH_smoke.json /tmp/BENCH_smoke.json >/dev/null
@@ -60,8 +62,8 @@ bench-diff:
 # events/sec drop; allocs/event growth). Records are snapshots from a quiet
 # machine, so the gate is deterministic — it audits the trajectory, it does
 # not re-run benchmarks.
-GATE_BASE ?= BENCH_pr7.json
-GATE_HEAD ?= BENCH_pr8.json
+GATE_BASE ?= BENCH_pr8.json
+GATE_HEAD ?= BENCH_pr9.json
 bench-gate:
 	@$(GO) run ./internal/tools/benchdiff -gate 25 $(GATE_BASE) $(GATE_HEAD)
 	@echo "bench gate OK"

@@ -487,27 +487,24 @@ func BenchmarkPlacement(b *testing.B) {
 	}
 }
 
-// BenchmarkAblationChannel compares the paper's RNG covert channel against
-// the memory-bus channel of prior co-location studies: equal verification
-// quality, but the bus channel's multi-second tests dominate the campaign's
-// wall-clock cost.
+// BenchmarkAblationChannel compares the pluggable covert-channel primitives:
+// the paper's RNG channel, the memory-bus channel of prior co-location
+// studies, the fast-but-noisy LLC family, and the majority-combined tester of
+// all three. Equal verification quality on a quiet world; what differs is the
+// serialized channel time each family pays per verification.
 func BenchmarkAblationChannel(b *testing.B) {
-	configs := []struct {
-		name string
-		cfg  covert.Config
-	}{
-		{"rng", covert.DefaultConfig()},
-		{"membus", covert.MemBusConfig()},
-	}
-	for _, c := range configs {
-		b.Run(c.name, func(b *testing.B) {
+	for _, name := range covert.ChannelNames() {
+		b.Run(name, func(b *testing.B) {
 			var tests float64
 			var minutes float64
 			for i := 0; i < b.N; i++ {
 				pl, insts := benchWorld(16, 120, sandbox.Gen1)
-				tester := covert.NewTester(pl.Scheduler(), c.cfg)
+				runner, err := covert.RunnerFor(name, pl.Scheduler(), 0)
+				if err != nil {
+					b.Fatal(err)
+				}
 				items := gen1Items(insts, fingerprint.DefaultPrecision)
-				res, err := coloc.Verify(tester, items, coloc.DefaultOptions())
+				res, err := coloc.Verify(runner, items, coloc.DefaultOptions())
 				if err != nil {
 					b.Fatal(err)
 				}

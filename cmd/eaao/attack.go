@@ -14,9 +14,10 @@ import (
 // runAttack implements `eaao attack`: a parameterized attacker-vs-victim
 // campaign on a fresh simulated platform, printing the coverage report and
 // campaign cost. It is the CLI face of examples/colocation-attack.
-func runAttack(args []string, seed uint64, quick bool, policy eaao.PlacementPolicy, faults eaao.FaultPlan) error {
+func runAttack(args []string, seed uint64, quick bool, policy eaao.PlacementPolicy, faults eaao.FaultPlan, channelDefault string) error {
 	fs := flag.NewFlagSet("attack", flag.ExitOnError)
 	region := fs.String("region", string(eaao.USEast1), "target region (us-east1, us-central1, us-west1)")
+	channel := fs.String("channel", channelDefault, "covert channel for verification: rng, llc, membus, combined (empty = rng)")
 	regions := fs.String("regions", "", "comma-separated regions for a multi-region fleet campaign (overrides -region)")
 	planner := fs.String("planner", "", "fleet budget planner: static-even, proportional, adaptive (default: the strategy's native rule)")
 	services := fs.Int("services", 6, "attacker services")
@@ -74,6 +75,7 @@ func runAttack(args []string, seed uint64, quick bool, policy eaao.PlacementPoli
 	cfg.RetryBackoff = 30 * time.Second
 	cfg.VoteBudget = *voteBudget
 	cfg.ProbeRetryBudget = *probeBudget
+	cfg.Channel = *channel
 
 	strat, err := eaao.AttackStrategyByName(*strategy)
 	if err != nil {
@@ -110,7 +112,8 @@ func runAttack(args []string, seed uint64, quick bool, policy eaao.PlacementPoli
 	}
 	st := camp.Stats()
 
-	fmt.Printf("region:            %s (%s, %s strategy)\n", dc.Region(), gen, strat.Name())
+	fmt.Printf("region:            %s (%s, %s strategy, %s channel)\n",
+		dc.Region(), gen, strat.Name(), channelLabel(cfg.Channel))
 	fmt.Printf("campaign:          %d services × %d launches × %d instances @ %v\n",
 		cfg.Services, cfg.Launches, cfg.InstancesPerLaunch, cfg.Interval)
 	fmt.Printf("attacker footprint: %d apparent hosts, %d live instances\n",
@@ -126,6 +129,15 @@ func runAttack(args []string, seed uint64, quick bool, policy eaao.PlacementPoli
 	}
 	fmt.Printf("(simulated in %v)\n", time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// channelLabel renders a channel selector for the report header ("" is the
+// default RNG channel).
+func channelLabel(ch string) string {
+	if ch == "" {
+		return "rng"
+	}
+	return ch
 }
 
 // launchVictims deploys the victim tenant's service in one region. The
@@ -194,8 +206,8 @@ func runFleetAttack(seed uint64, profiles []eaao.RegionProfile, names []string,
 		return err
 	}
 
-	fmt.Printf("fleet:             %d regions (%s, %s strategy, %s planner)\n",
-		fleet.Size(), gen, strat.Name(), fc.Planner().Name())
+	fmt.Printf("fleet:             %d regions (%s, %s strategy, %s planner, %s channel)\n",
+		fleet.Size(), gen, strat.Name(), fc.Planner().Name(), channelLabel(cfg.Channel))
 	fmt.Printf("campaign:          %d services × %d launches × %d instances @ %v per region\n",
 		cfg.Services, cfg.Launches, cfg.InstancesPerLaunch, cfg.Interval)
 	covs := make([]eaao.Coverage, 0, len(vers))

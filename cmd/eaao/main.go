@@ -15,6 +15,7 @@
 //	-parallel  run whole experiments concurrently through the same bounded pool
 //	-policy P  override every region's placement policy (cloudrun, random-uniform, least-loaded)
 //	-faults L  inject deterministic faults at uniform level L in [0,1] (0 = fault-free)
+//	-channel C covert channel for campaign verification (rng, llc, membus, combined; empty = rng)
 //	-csv       also print each table as CSV
 //	-cpuprofile F  write a CPU profile of the run to F (runtime/pprof)
 //	-memprofile F  write an allocation profile at exit to F
@@ -49,6 +50,7 @@ func run() int {
 	jobs := flag.Int("jobs", runtime.NumCPU(), "max concurrent trial workers (1 = fully sequential)")
 	policyName := flag.String("policy", "", "override the placement policy in every region (cloudrun, random-uniform, least-loaded)")
 	faultLevel := flag.Float64("faults", 0, "uniform injected fault level in [0,1] (0 = fault-free; scales launch, preemption, channel and probe fault rates together)")
+	channel := flag.String("channel", "", "covert channel for campaign verification (rng, llc, membus, combined; empty = rng)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Usage = usage
@@ -95,6 +97,11 @@ func run() int {
 		return 2
 	}
 
+	if !eaao.ValidCovertChannel(*channel) {
+		fmt.Fprintf(os.Stderr, "eaao: unknown covert channel %q (rng, llc, membus, combined)\n", *channel)
+		return 2
+	}
+
 	if len(args) == 0 {
 		usage()
 		return 2
@@ -102,7 +109,7 @@ func run() int {
 
 	switch args[0] {
 	case "attack":
-		if err := runAttack(args[1:], *seed, *quick, policy, faults); err != nil {
+		if err := runAttack(args[1:], *seed, *quick, policy, faults, *channel); err != nil {
 			fmt.Fprintf(os.Stderr, "eaao attack: %v\n", err)
 			return 1
 		}
@@ -122,7 +129,7 @@ func run() int {
 				ids = append(ids, d.ID)
 			}
 		}
-		ctx := eaao.ExperimentContext{Seed: *seed, Quick: *quick, Big: *big, Jobs: *jobs, Policy: policy, Faults: faults}
+		ctx := eaao.ExperimentContext{Seed: *seed, Quick: *quick, Big: *big, Jobs: *jobs, Policy: policy, Faults: faults, Channel: *channel}
 
 		// Each experiment builds its own deterministic world, so runs are
 		// independent and can proceed concurrently; results print in the
@@ -232,7 +239,7 @@ func usage() {
 usage:
   eaao [flags] list
   eaao [flags] run <id>... | all
-  eaao [flags] attack [-region R] [-strategy naive|optimized|adaptive] [-victims N] ...
+  eaao [flags] attack [-region R] [-strategy naive|optimized|adaptive] [-channel rng|llc|membus|combined] ...
   eaao [flags] attack -regions R1,R2,... [-planner static-even|proportional|adaptive]
 
 flags:

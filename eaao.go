@@ -144,6 +144,24 @@ type (
 	CovertConfig = covert.Config
 	// CovertTester runs CTest invocations and accounts their cost.
 	CovertTester = covert.Tester
+	// CovertChannel is one pluggable covert-channel primitive (RNG, memory
+	// bus, LLC); build testers for it with NewChannelCovertTester.
+	CovertChannel = covert.Channel
+	// CovertRunner is the tester capability surface shared by the
+	// single-channel Tester and the majority-combined MultiCovertTester.
+	CovertRunner = covert.Runner
+	// MultiCovertTester combines several channels by majority vote.
+	MultiCovertTester = covert.MultiTester
+	// ChannelModel is one channel family's physical parameters in the
+	// platform registry (round time, bandwidth, load-sensitive noise).
+	ChannelModel = faas.ChannelModel
+	// ChannelFaultRates is a FaultPlan's per-channel misfire override.
+	ChannelFaultRates = faas.ChannelFaultRates
+	// ChannelCost is a campaign ledger's per-channel verify-stage split.
+	ChannelCost = attack.ChannelCost
+	// ColocTester is the covert capability co-location verification needs;
+	// every CovertRunner satisfies it.
+	ColocTester = coloc.Tester
 	// VerifyItem is one instance tagged with its fingerprint.
 	VerifyItem = coloc.Item
 	// VerifyOptions tunes the scalable verification.
@@ -291,6 +309,13 @@ const (
 // DefaultPrecision is the paper's default fingerprint rounding (1 s).
 const DefaultPrecision = fingerprint.DefaultPrecision
 
+// Covert-channel resource families (the ChannelModel registry's keys).
+const (
+	ResourceRNG    = faas.ResourceRNG
+	ResourceMemBus = faas.ResourceMemBus
+	ResourceLLC    = faas.ResourceLLC
+)
+
 // PlacementPolicies returns one instance of every built-in placement policy.
 func PlacementPolicies() []PlacementPolicy { return faas.Policies() }
 
@@ -360,18 +385,69 @@ func NewCovertTesterWith(sched *Scheduler, cfg CovertConfig) *CovertTester {
 // earlier co-location studies: workable, but ~30x slower per test.
 func MemBusCovertConfig() CovertConfig { return covert.MemBusConfig() }
 
+// LLCCovertConfig returns the LLC contention-channel configuration: tests in
+// 20 ms instead of 100 ms, at the price of load-sensitive noise.
+func LLCCovertConfig() CovertConfig { return covert.LLCConfig() }
+
+// CovertChannelNames lists the channel selectors CovertRunnerFor accepts
+// ("rng", "llc", "membus", "combined").
+func CovertChannelNames() []string { return covert.ChannelNames() }
+
+// ValidCovertChannel reports whether name selects a covert channel: one of
+// CovertChannelNames, or empty for the default RNG channel.
+func ValidCovertChannel(name string) bool { return covert.ValidChannel(name) }
+
+// CovertChannelByName resolves one pluggable channel primitive ("" and "rng"
+// are the paper's RNG channel; "llc", "membus").
+func CovertChannelByName(name string) (CovertChannel, error) {
+	return covert.ChannelByName(name)
+}
+
+// CovertRunnerFor builds a tester for a channel selector: a single-channel
+// tester for "rng"/"llc"/"membus", or the majority-combined tester of all
+// three for "combined". voteBudget enables fault-recovery majority voting
+// (0/1 = single shot).
+func CovertRunnerFor(name string, sched *Scheduler, voteBudget int) (CovertRunner, error) {
+	return covert.RunnerFor(name, sched, voteBudget)
+}
+
+// NewChannelCovertTester builds a single-channel tester driving an explicit
+// channel primitive with an explicit configuration.
+func NewChannelCovertTester(sched *Scheduler, ch CovertChannel, cfg CovertConfig) *CovertTester {
+	return covert.NewChannelTester(sched, ch, cfg)
+}
+
+// NewMultiCovertTester combines channel primitives into one majority-voting
+// tester: a pair is co-located iff a majority of the channels say so.
+func NewMultiCovertTester(sched *Scheduler, voteBudget int, channels ...CovertChannel) *MultiCovertTester {
+	return covert.NewMultiTester(sched, voteBudget, channels...)
+}
+
+// ChannelModels returns the platform's channel-model registry in Resource
+// order (rng, membus, llc).
+func ChannelModels() []ChannelModel { return faas.Channels() }
+
 // CalibrateCovertChannel measures the background contention rate from a
 // probe instance and derives a vote threshold with comfortable margin.
 func CalibrateCovertChannel(base CovertConfig, probe *Instance, sampleRounds int) (CovertConfig, error) {
 	return covert.Calibrate(base, probe, sampleRounds)
 }
 
+// CalibrateChannel is CalibrateCovertChannel through a pluggable channel
+// primitive: sampling and threshold derivation use the channel's own round
+// primitive and tuned base configuration.
+func CalibrateChannel(ch CovertChannel, probe *Instance, sampleRounds int) (CovertConfig, error) {
+	return covert.CalibrateChannel(ch, probe, sampleRounds)
+}
+
 // LoadTargetBook reads a re-attack fingerprint book written by
 // TargetBook.Save.
 func LoadTargetBook(r io.Reader) (*TargetBook, error) { return attack.LoadTargetBook(r) }
 
-// VerifyColocation runs the scalable §4.3 verification.
-func VerifyColocation(tester *CovertTester, items []VerifyItem, opt VerifyOptions) (*VerifyResult, error) {
+// VerifyColocation runs the scalable §4.3 verification. Any ColocTester
+// works: a plain CovertTester, a channel tester, or the majority-combined
+// MultiCovertTester.
+func VerifyColocation(tester ColocTester, items []VerifyItem, opt VerifyOptions) (*VerifyResult, error) {
 	return coloc.Verify(tester, items, opt)
 }
 
@@ -408,13 +484,13 @@ func AttackStrategyByName(name string) (LaunchStrategy, error) {
 }
 
 // MeasureCoverage verifies attacker-victim co-location.
-func MeasureCoverage(tester *CovertTester, attacker, victims []*Instance, precision Duration) (Coverage, error) {
+func MeasureCoverage(tester ColocTester, attacker, victims []*Instance, precision Duration) (Coverage, error) {
 	return attack.MeasureCoverage(tester, attacker, victims, precision)
 }
 
 // MeasureCoverageDetail is MeasureCoverage plus the verified co-located
 // attacker instances (the spies for extraction and re-attack targeting).
-func MeasureCoverageDetail(tester *CovertTester, attacker, victims []*Instance, precision Duration) (Coverage, []*Instance, error) {
+func MeasureCoverageDetail(tester ColocTester, attacker, victims []*Instance, precision Duration) (Coverage, []*Instance, error) {
 	return attack.MeasureCoverageDetail(tester, attacker, victims, precision)
 }
 

@@ -119,8 +119,8 @@ func TestAttackJourney(t *testing.T) {
 
 func TestExperimentRegistryThroughFacade(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 26 {
-		t.Fatalf("registry has %d experiments, want 26", len(exps))
+	if len(exps) != 27 {
+		t.Fatalf("registry has %d experiments, want 27", len(exps))
 	}
 	res, err := RunExperiment("table1", benchCtx())
 	if err != nil {

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"time"
 
+	"eaao/internal/core/covert"
 	"eaao/internal/core/fingerprint"
 	"eaao/internal/faas"
 	"eaao/internal/sandbox"
@@ -74,6 +75,12 @@ type Config struct {
 	// probe fault is retried before the instance is skipped for the batch.
 	// At 0 a probe fault propagates as an error instead.
 	ProbeRetryBudget int
+
+	// Channel selects the covert-channel primitive of the campaign's default
+	// tester: "" or "rng" (the paper's RNG channel, byte-identical to builds
+	// without the channel layer), "llc", "membus", or "combined" (majority
+	// across all three). An explicit SetTester overrides it.
+	Channel string
 }
 
 // DefaultConfig returns the paper's optimized-strategy parameters.
@@ -103,6 +110,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("attack: Precision must be positive")
 	case c.LaunchRetries < 0 || c.VoteBudget < 0 || c.ProbeRetryBudget < 0:
 		return fmt.Errorf("attack: negative fault-recovery budgets")
+	case !covert.ValidChannel(c.Channel):
+		return fmt.Errorf("attack: unknown channel %q (rng, llc, membus, combined)", c.Channel)
 	}
 	return nil
 }

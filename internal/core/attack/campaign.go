@@ -37,7 +37,7 @@ type Campaign struct {
 
 	res    *CampaignResult
 	stats  CampaignStats
-	tester *covert.Tester
+	tester covert.Runner
 	// services are the attacker services deployed through the sink, tracked
 	// so retry backoff can attribute the resident footprint's holding cost
 	// to the fault ledger.
@@ -102,27 +102,36 @@ func (c *Campaign) Launch() (*CampaignResult, error) {
 func (c *Campaign) Result() *CampaignResult { return c.res }
 
 // Stats returns a snapshot of the per-stage cost/coverage ledger.
-func (c *Campaign) Stats() CampaignStats { return c.stats }
+func (c *Campaign) Stats() CampaignStats {
+	st := c.stats
+	st.PerChannel = append([]ChannelCost(nil), st.PerChannel...)
+	return st
+}
 
-// Tester returns the campaign's covert-channel tester, creating it with the
-// paper's default configuration on first use. The tester is instrumented
-// with the stats ledger: every CTest run through it — by Verify or by the
-// caller directly — is charged to the campaign's verify stage. Creating a
-// tester consumes no randomness and advances no clocks, so lazy creation
-// cannot perturb determinism.
-func (c *Campaign) Tester() *covert.Tester {
+// Tester returns the campaign's covert-channel runner, creating it from
+// cfg.Channel on first use (the paper's single-channel RNG tester by
+// default, byte-identical to builds that predate pluggable channels). The
+// runner is instrumented with the stats ledger: every CTest run through it —
+// by Verify or by the caller directly — is charged to the campaign's verify
+// stage with its channel label. Creating a tester consumes no randomness and
+// advances no clocks, so lazy creation cannot perturb determinism.
+func (c *Campaign) Tester() covert.Runner {
 	if c.tester == nil {
-		cfg := covert.DefaultConfig()
-		cfg.VoteBudget = c.cfg.VoteBudget
-		c.SetTester(covert.NewTester(c.sched, cfg))
+		r, err := covert.RunnerFor(c.cfg.Channel, c.sched, c.cfg.VoteBudget)
+		if err != nil {
+			// cfg.Channel was validated at NewCampaign; reaching this is a
+			// programming error.
+			panic(err)
+		}
+		c.SetTester(r)
 	}
 	return c.tester
 }
 
-// SetTester replaces the campaign's covert tester (e.g. with a calibrated or
-// memory-bus configuration). The campaign takes over cost accounting: the
-// tester's sink is pointed at the stats ledger.
-func (c *Campaign) SetTester(t *covert.Tester) {
+// SetTester replaces the campaign's covert runner (e.g. with a calibrated,
+// memory-bus, or majority-combined tester). The campaign takes over cost
+// accounting: the runner's sink is pointed at the stats ledger.
+func (c *Campaign) SetTester(t covert.Runner) {
 	c.tester = t
 	t.SetSink(&c.stats)
 }

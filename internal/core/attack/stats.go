@@ -59,6 +59,10 @@ type CampaignStats struct {
 	// CovertInstanceTime is Σ over tests of participants × duration — the
 	// per-instance channel occupancy the attacker also pays for.
 	CovertInstanceTime time.Duration
+	// PerChannel splits the verify-stage spend by covert channel, in
+	// first-test order. A single-channel campaign carries one entry; the
+	// majority-combined tester one per member channel.
+	PerChannel []ChannelCost
 
 	// Score stage.
 
@@ -95,6 +99,17 @@ type CampaignStats struct {
 	FaultUSD         float64
 }
 
+// ChannelCost is the verify-stage covert spend attributed to one channel.
+type ChannelCost struct {
+	// Channel names the covert channel ("rng", "llc", "membus").
+	Channel string
+	// CTests, CovertTime and ReVotes mirror the aggregate verify-stage
+	// counters, restricted to this channel's tests.
+	CTests     int
+	CovertTime time.Duration
+	ReVotes    int
+}
+
 // FaultRecovery reports whether any fault-recovery activity was metered.
 func (s CampaignStats) FaultRecovery() bool {
 	return s.LaunchRetries > 0 || s.ReVotes > 0 || s.ProbeRetries > 0 ||
@@ -110,6 +125,22 @@ func (s *CampaignStats) ObserveTest(ev covert.TestEvent) {
 	s.CovertInstanceTime += time.Duration(ev.Participants) * ev.Duration
 	if ev.Repetition > 0 {
 		s.ReVotes++
+	}
+	for i := range s.PerChannel {
+		if s.PerChannel[i].Channel == ev.Channel {
+			s.PerChannel[i].observe(ev)
+			return
+		}
+	}
+	s.PerChannel = append(s.PerChannel, ChannelCost{Channel: ev.Channel})
+	s.PerChannel[len(s.PerChannel)-1].observe(ev)
+}
+
+func (c *ChannelCost) observe(ev covert.TestEvent) {
+	c.CTests++
+	c.CovertTime += ev.Duration
+	if ev.Repetition > 0 {
+		c.ReVotes++
 	}
 }
 
@@ -145,6 +176,14 @@ func (s CampaignStats) String() string {
 		s.FingerprintSamples, s.ApparentHosts)
 	fmt.Fprintf(&b, "  verify:      %d verifications, %d CTests, %v channel time\n",
 		s.Verifications, s.CTests, s.CovertTime)
+	// The per-channel split only earns a line when there is a split; the
+	// single-channel ledger renders exactly as it always has.
+	if len(s.PerChannel) > 1 {
+		for _, cc := range s.PerChannel {
+			fmt.Fprintf(&b, "    %-9s %d CTests, %v channel time, %d re-votes\n",
+				cc.Channel+":", cc.CTests, cc.CovertTime, cc.ReVotes)
+		}
+	}
 	fmt.Fprintf(&b, "  score:       %d/%d victims covered (%.1f%%)",
 		s.VictimsCovered, s.VictimInstances, 100*s.CoverageFraction())
 	if s.FaultRecovery() {
@@ -203,8 +242,25 @@ func (f FleetStats) Totals() CampaignStats {
 		t.FaultVCPUSeconds += s.FaultVCPUSeconds
 		t.FaultGBSeconds += s.FaultGBSeconds
 		t.FaultUSD += s.FaultUSD
+		for _, cc := range s.PerChannel {
+			t.mergeChannel(cc)
+		}
 	}
 	return t
+}
+
+// mergeChannel folds one shard's per-channel entry into the fleet total,
+// matching by channel name.
+func (t *CampaignStats) mergeChannel(cc ChannelCost) {
+	for i := range t.PerChannel {
+		if t.PerChannel[i].Channel == cc.Channel {
+			t.PerChannel[i].CTests += cc.CTests
+			t.PerChannel[i].CovertTime += cc.CovertTime
+			t.PerChannel[i].ReVotes += cc.ReVotes
+			return
+		}
+	}
+	t.PerChannel = append(t.PerChannel, cc)
 }
 
 // CostPerVictim returns the fleet-wide dollars per covered victim.

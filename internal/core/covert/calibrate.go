@@ -35,7 +35,37 @@ func Calibrate(base Config, probe *faas.Instance, sampleRounds int) (Config, err
 			hits++
 		}
 	}
-	bg := float64(hits) / float64(sampleRounds)
+	return deriveThreshold(base, float64(hits)/float64(sampleRounds))
+}
+
+// CalibrateChannel is Calibrate for a pluggable channel primitive: the
+// background rate is sampled through the channel's own round primitive and
+// the threshold derived from the channel's tuned base configuration. For the
+// RNG channel this draws and derives identically to
+// Calibrate(DefaultConfig(), ...).
+func CalibrateChannel(ch Channel, probe *faas.Instance, sampleRounds int) (Config, error) {
+	if sampleRounds <= 0 {
+		return Config{}, fmt.Errorf("covert: calibration needs sample rounds")
+	}
+	hits := 0
+	var obs []int
+	single := []*faas.Instance{probe}
+	for i := 0; i < sampleRounds; i++ {
+		var err error
+		obs, err = ch.Round(single, obs)
+		if err != nil {
+			return Config{}, err
+		}
+		if obs[0] >= 2 {
+			hits++
+		}
+	}
+	return deriveThreshold(ch.Config(), float64(hits)/float64(sampleRounds))
+}
+
+// deriveThreshold turns a measured background rate into a calibrated
+// configuration (the math shared by Calibrate and CalibrateChannel).
+func deriveThreshold(base Config, bg float64) (Config, error) {
 	if bg >= 0.9 {
 		return Config{}, fmt.Errorf("covert: background rate %.2f too high to calibrate — probe may not be alone", bg)
 	}

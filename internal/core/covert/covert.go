@@ -68,6 +68,8 @@ func MemBusConfig() Config {
 // Validate checks the configuration.
 func (c Config) Validate() error {
 	switch {
+	case !c.Resource.Valid():
+		return fmt.Errorf("covert: unknown channel resource %d", int(c.Resource))
 	case c.Rounds <= 0:
 		return fmt.Errorf("covert: Rounds must be positive")
 	case c.VoteThreshold <= 0 || c.VoteThreshold > c.Rounds:
@@ -99,6 +101,9 @@ type Stats struct {
 
 // TestEvent describes one completed CTest for an observer.
 type TestEvent struct {
+	// Channel names the covert channel the test ran on ("rng", "membus",
+	// "llc") — the per-channel dimension of cost ledgers.
+	Channel string
 	// Participants is the number of instances under test.
 	Participants int
 	// Positives is how many of them tested positive.
@@ -126,6 +131,11 @@ type Tester struct {
 	sched *simtime.Scheduler
 	stats Stats
 	sink  Sink
+	// ch is the pluggable channel primitive (NewChannelTester). nil keeps
+	// the historical direct-resource path: rounds go straight to
+	// faas.ContentionRoundOnInto on cfg.Resource, byte-identical to builds
+	// that predate the channel layer.
+	ch Channel
 
 	// votes and obs are per-test scratch reused across CTests (a test runs
 	// Rounds contention rounds; without reuse each round allocated a fresh
@@ -148,6 +158,20 @@ func NewTester(sched *simtime.Scheduler, cfg Config) *Tester {
 
 // Config returns the tester's configuration.
 func (t *Tester) Config() Config { return t.cfg }
+
+// Channel returns the pluggable channel primitive the tester drives, or nil
+// on the historical direct-resource path.
+func (t *Tester) Channel() Channel { return t.ch }
+
+// channelName labels the tester's channel for observers. Both paths return
+// the resource name, so ledgers are channel-labeled regardless of how the
+// tester was built.
+func (t *Tester) channelName() string {
+	if t.ch != nil {
+		return t.ch.Name()
+	}
+	return t.cfg.Resource.String()
+}
 
 // Stats returns the accumulated cost counters.
 func (t *Tester) Stats() Stats { return t.stats }
@@ -218,7 +242,13 @@ func (t *Tester) singleCTest(instances []*faas.Instance, m, rep int) ([]bool, er
 		votes[i] = 0
 	}
 	for r := 0; r < t.cfg.Rounds; r++ {
-		obs, err := faas.ContentionRoundOnInto(t.cfg.Resource, instances, t.obs)
+		var obs []int
+		var err error
+		if t.ch != nil {
+			obs, err = t.ch.Round(instances, t.obs)
+		} else {
+			obs, err = faas.ContentionRoundOnInto(t.cfg.Resource, instances, t.obs)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -244,6 +274,7 @@ func (t *Tester) singleCTest(instances []*faas.Instance, m, rep int) ([]bool, er
 	}
 	if t.sink != nil {
 		t.sink.ObserveTest(TestEvent{
+			Channel:      t.channelName(),
 			Participants: len(instances),
 			Positives:    positives,
 			Duration:     t.cfg.TestDuration,

@@ -292,6 +292,9 @@ func TestResourceStrings(t *testing.T) {
 	if faas.ResourceRNG.String() != "rng" || faas.ResourceMemBus.String() != "membus" {
 		t.Error("resource names wrong")
 	}
+	if faas.ResourceLLC.String() != "llc" {
+		t.Error("llc resource name wrong")
+	}
 	if faas.Resource(9).String() != "resource?" {
 		t.Error("unknown resource name")
 	}

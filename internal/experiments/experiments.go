@@ -50,6 +50,11 @@ type Context struct {
 	// configuration (80k-host region, 640 tenants; the CLI's -big flag).
 	// Only scale reads it; every other experiment is unaffected.
 	Big bool
+	// Channel selects the covert channel campaigns verify with (the CLI's
+	// -channel flag): "rng" (or empty — the paper's channel and the
+	// byte-identical default), "llc", "membus", or "combined". Only
+	// faultsweep reads it; channelablation sweeps every channel itself.
+	Channel string
 }
 
 // jobs resolves the effective worker count.
@@ -156,6 +161,7 @@ func init() {
 		{ID: "faultsweep", Title: "Coverage and cost vs injected fault rate", PaperRef: "§4.1 measurement conditions, DESIGN.md fault plane", Run: runFaultSweep},
 		{ID: "scale", Title: "Event-kernel throughput at fleet scale", PaperRef: "DESIGN.md event kernel; §5.2 scale context", Run: runScale},
 		{ID: "multiregion", Title: "Multi-region fleet campaigns under budget planners", PaperRef: "§5.2 scale-out; DESIGN.md fleet and planner", Run: runMultiRegion},
+		{ID: "channelablation", Title: "Covert-channel ablation: verification cost and fault resilience per channel", PaperRef: "§4.3 verification; DESIGN.md channel primitives", Run: runChannelAblation},
 	}
 }
 

@@ -25,7 +25,8 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"fig11a", "fig11b", "fig12", "table1", "freq", "verifycost", "gen2",
 		"naive", "cost", "gen2cov", "mitigation", "extraction", "reattack", "ablations",
-		"policyablation", "strategyablation", "faultsweep", "scale", "multiregion"}
+		"policyablation", "strategyablation", "faultsweep", "scale", "multiregion",
+		"channelablation"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
@@ -478,6 +479,54 @@ func TestStrategyAblationExperiment(t *testing.T) {
 	}
 	if res.Metrics["usd_naive"] >= res.Metrics["usd_optimized"] {
 		t.Error("naive cost not below optimized")
+	}
+}
+
+func TestChannelAblationExperiment(t *testing.T) {
+	res := run(t, "channelablation")
+	for _, ch := range []string{"rng", "llc", "membus", "combined"} {
+		for _, key := range []string{"verify_tests_", "verify_minutes_", "verify_usd_", "verify_fmi_"} {
+			if _, ok := res.Metrics[key+ch]; !ok {
+				t.Errorf("metric %s%s missing", key, ch)
+			}
+		}
+		for _, reg := range []string{"clean", "rngstorm"} {
+			for _, key := range []string{"cov_", "ctests_", "covertmin_"} {
+				if _, ok := res.Metrics[key+ch+"_"+reg]; !ok {
+					t.Errorf("metric %s%s_%s missing", key, ch, reg)
+				}
+			}
+		}
+	}
+	// The channel physics: every channel runs the same test count on the
+	// shared world, so serialized time orders by round time — LLC cheapest,
+	// membus dearest, combined the sum of its members.
+	llc, rng, bus := res.Metrics["verify_minutes_llc"], res.Metrics["verify_minutes_rng"], res.Metrics["verify_minutes_membus"]
+	if !(llc < rng && rng < bus) {
+		t.Errorf("verify minutes not ordered llc < rng < membus: %v, %v, %v", llc, rng, bus)
+	}
+	if comb := res.Metrics["verify_minutes_combined"]; comb <= bus {
+		t.Errorf("combined verify minutes %v not above membus %v", comb, bus)
+	}
+	// A combined test runs all three members, so its clean campaign pays
+	// exactly 3x the single-channel CTest count.
+	if c3, c1 := res.Metrics["ctests_combined_clean"], res.Metrics["ctests_rng_clean"]; c3 != 3*c1 {
+		t.Errorf("combined clean CTests %v, want 3x rng's %v", c3, c1)
+	}
+	// The rng misfire storm hits only the RNG family: the single-channel rng
+	// campaign re-votes its way through at a multiple of the llc campaign's
+	// spend, and the combined tester stays at its flat 3x.
+	if sr, sl := res.Metrics["ctests_rng_rngstorm"], res.Metrics["ctests_llc_rngstorm"]; sr <= sl {
+		t.Errorf("rng storm CTests %v not above llc's %v", sr, sl)
+	}
+	if sc, sl := res.Metrics["ctests_combined_rngstorm"], res.Metrics["ctests_llc_rngstorm"]; sc != 3*sl {
+		t.Errorf("combined storm CTests %v, want 3x llc's %v", sc, sl)
+	}
+	// Resilience: every channel still covers victims under the storm.
+	for _, ch := range []string{"rng", "llc", "membus", "combined"} {
+		if cov := res.Metrics["cov_"+ch+"_rngstorm"]; cov < 0.9 {
+			t.Errorf("%s storm coverage = %v, want near-total", ch, cov)
+		}
 	}
 }
 

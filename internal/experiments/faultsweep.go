@@ -96,6 +96,7 @@ func runFaultSweep(ctx Context) (*Result, error) {
 		cfg.Services = 2
 		cfg.InstancesPerLaunch = n
 		cfg.Launches = 6
+		cfg.Channel = ctx.Channel
 		if u.variant.hardened {
 			hardenedBudgets(&cfg)
 		}

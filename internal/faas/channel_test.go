@@ -1,0 +1,187 @@
+package faas
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestChannelRegistry(t *testing.T) {
+	models := Channels()
+	if len(models) != NumResources {
+		t.Fatalf("Channels() returned %d models, want %d", len(models), NumResources)
+	}
+	wantNames := []string{"rng", "membus", "llc"}
+	for i, m := range models {
+		if m.Resource != Resource(i) {
+			t.Errorf("model %d registered under Resource %d", i, int(m.Resource))
+		}
+		if m.Name != wantNames[i] {
+			t.Errorf("model %d named %q, want %q", i, m.Name, wantNames[i])
+		}
+		if m.TestTime <= 0 || m.BitsPerSecond <= 0 {
+			t.Errorf("model %s has non-positive cost parameters: %+v", m.Name, m)
+		}
+		got, err := ChannelModelOf(Resource(i))
+		if err != nil || got != m {
+			t.Errorf("ChannelModelOf(%d) = %+v, %v", i, got, err)
+		}
+		byName, err := ChannelByName(m.Name)
+		if err != nil || byName != m {
+			t.Errorf("ChannelByName(%q) = %+v, %v", m.Name, byName, err)
+		}
+	}
+	if _, err := ChannelModelOf(Resource(9)); err == nil {
+		t.Error("ChannelModelOf accepted an unregistered resource")
+	}
+	if _, err := ChannelByName("hyperlane"); err == nil {
+		t.Error("ChannelByName accepted an unknown name")
+	}
+	if Resource(9).Valid() || Resource(-1).Valid() {
+		t.Error("out-of-range resources report Valid")
+	}
+	// The LLC is the fast, load-sensitive family; the quiet channels must
+	// stay load-insensitive or historical draw sequences change.
+	llc := channelModels[ResourceLLC]
+	if llc.LoadNoise <= 0 || llc.LoadDrop <= 0 {
+		t.Error("LLC model is not load-sensitive")
+	}
+	for _, res := range []Resource{ResourceRNG, ResourceMemBus} {
+		m := channelModels[res]
+		if m.LoadNoise != 0 || m.LoadDrop != 0 {
+			t.Errorf("%s model is load-sensitive; that changes frozen draw sequences", m.Name)
+		}
+	}
+	if llc.TestTime >= channelModels[ResourceRNG].TestTime {
+		t.Error("LLC tests should be shorter than RNG tests")
+	}
+	if llc.BitsPerSecond <= channelModels[ResourceRNG].BitsPerSecond {
+		t.Error("LLC bandwidth should exceed the RNG's")
+	}
+}
+
+// The LLC channel degrades with bystander load: a lone participant on a busy
+// host sees far more false positives — and some dead rounds — than one on a
+// quiet host, while the RNG channel reads the same everywhere.
+func TestLLCChannelLoadSensitivity(t *testing.T) {
+	dc := newTestDC(t, 23)
+	// A heavily loaded tenant: bystander co-residents are pure host load —
+	// residents that never participate in a round count as bystanders even
+	// when they belong to the prober's own service.
+	loadedInsts, err := dc.Account("prober").DeployService("p", ServiceConfig{}).Launch(240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded *Instance
+	for _, inst := range loadedInsts {
+		if inst.host.ResidentCount() >= 4 {
+			loaded = inst
+			break
+		}
+	}
+	// A quiet probe needs a host it has all to itself; single-instance
+	// launches from fresh accounts land on lightly used base hosts.
+	var quiet *Instance
+	for i := 0; i < 10 && quiet == nil; i++ {
+		insts, err := dc.Account(fmt.Sprintf("loner%d", i)).DeployService("q", ServiceConfig{}).Launch(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if insts[0].host.ResidentCount() == 1 {
+			quiet = insts[0]
+		}
+	}
+	if quiet == nil || loaded == nil {
+		t.Skip("world did not produce both a quiet and a loaded probe host")
+	}
+
+	rates := func(inst *Instance, res Resource) (fp, drop float64) {
+		const rounds = 3000
+		fps, drops := 0, 0
+		var obs []int
+		parts := []*Instance{inst}
+		for i := 0; i < rounds; i++ {
+			obs, err = ContentionRoundOnInto(res, parts, obs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch {
+			case obs[0] >= 2:
+				fps++
+			case obs[0] == 0:
+				drops++
+			}
+		}
+		return float64(fps) / rounds, float64(drops) / rounds
+	}
+
+	quietFP, quietDrop := rates(quiet, ResourceLLC)
+	loadedFP, loadedDrop := rates(loaded, ResourceLLC)
+	if quietDrop != 0 {
+		t.Errorf("LLC dropped %.3f of rounds on a quiet host, want 0", quietDrop)
+	}
+	if quietFP > 0.08 {
+		t.Errorf("LLC quiet-host FP rate %.3f, want ≈0.04", quietFP)
+	}
+	if loadedFP < quietFP+0.05 {
+		t.Errorf("LLC loaded-host FP rate %.3f not above quiet %.3f", loadedFP, quietFP)
+	}
+	if loadedDrop == 0 {
+		t.Error("LLC loaded host never dropped a round")
+	}
+
+	// The RNG channel must not care about load.
+	rngQuietFP, rngQuietDrop := rates(quiet, ResourceRNG)
+	rngLoadedFP, rngLoadedDrop := rates(loaded, ResourceRNG)
+	if rngQuietDrop != 0 || rngLoadedDrop != 0 {
+		t.Error("RNG channel dropped rounds")
+	}
+	if rngQuietFP > 0.02 || rngLoadedFP > 0.02 {
+		t.Errorf("RNG FP rates %.3f / %.3f, want < 0.02 regardless of load", rngQuietFP, rngLoadedFP)
+	}
+}
+
+// The legacy ContentionRound shim still works but warns once per region via
+// the placement trace, like the RandomPlacement retirement did.
+func TestContentionRoundShimWarnsOnce(t *testing.T) {
+	dc := newTestDC(t, 24)
+	ring := NewTraceRing(16)
+	dc.SetPlacementTracer(ring)
+	countDeprecated := func() int {
+		n := 0
+		for _, ev := range ring.Events() {
+			if ev.Kind == TraceDeprecated {
+				n++
+			}
+		}
+		return n
+	}
+
+	insts, err := dc.Account("a1").DeployService("s", ServiceConfig{}).Launch(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The channel-aware API never warns.
+	if _, err := ContentionRoundOn(ResourceRNG, insts); err != nil {
+		t.Fatal(err)
+	}
+	if countDeprecated() != 0 {
+		t.Fatal("ContentionRoundOn emitted a deprecation event")
+	}
+	deprecated, err := ContentionRound(insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modern, err := ContentionRoundOn(ResourceRNG, insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deprecated) != len(modern) {
+		t.Fatalf("shim returned %d observations, want %d", len(deprecated), len(modern))
+	}
+	if _, err := ContentionRound(insts); err != nil {
+		t.Fatal(err)
+	}
+	if got := countDeprecated(); got != 1 {
+		t.Errorf("shim emitted %d deprecation events across two calls, want 1", got)
+	}
+}

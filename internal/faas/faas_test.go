@@ -476,7 +476,7 @@ func TestContentionRoundSemantics(t *testing.T) {
 		id, _ := inst.HostID()
 		byHost[id] = append(byHost[id], inst)
 	}
-	obs, err := ContentionRound(insts)
+	obs, err := ContentionRoundOn(ResourceRNG, insts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -501,7 +501,7 @@ func TestContentionBackgroundRate(t *testing.T) {
 	trips := 0
 	const rounds = 5000
 	for r := 0; r < rounds; r++ {
-		obs, err := ContentionRound(solo)
+		obs, err := ContentionRoundOn(ResourceRNG, solo)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -523,7 +523,7 @@ func TestContentionTerminatedObserveNothing(t *testing.T) {
 		t.Fatal(err)
 	}
 	svc.TerminateAll()
-	obs, err := ContentionRound(insts)
+	obs, err := ContentionRoundOn(ResourceRNG, insts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -538,7 +538,7 @@ func TestContentionTerminatedObserveNothing(t *testing.T) {
 		t.Fatal(err)
 	}
 	mixed := append(append([]*Instance(nil), insts...), insts2...)
-	obs, err = ContentionRound(mixed)
+	obs, err = ContentionRoundOn(ResourceRNG, mixed)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -32,6 +32,9 @@ var ErrProbeFault = sandbox.ErrProbeFault
 // corrupts a whole single test — exactly the failure mode majority-vote
 // repetition (covert.Config.VoteBudget) exists to absorb: repeated tests are
 // spaced one TestDuration apart and re-draw the misfire state independently.
+// The window is deliberately channel-agnostic: on the faster LLC channel it
+// spans several 20 ms tests, so vote repetition alone absorbs less there and
+// cross-channel majority (covert.MultiTester) is the stronger recovery.
 const ChannelMisfireWindow = 100 * time.Millisecond
 
 // FaultPlan parameterizes the injected failures of one region. The zero
@@ -65,10 +68,47 @@ type FaultPlan struct {
 	// (CollectGen1/CollectGen2, a frequency-measurement repetition, or
 	// ProbeContention) fails with ErrProbeFault.
 	ProbeFailureRate float64
+
+	// PerChannel overrides the scalar channel misfire rates for individual
+	// resource families, indexed by Resource. A zero-valued entry falls back
+	// to the scalar ChannelFalsePositiveRate/ChannelFalseNegativeRate pair,
+	// so the scalar plan remains a uniform fallback covering every channel —
+	// and a channel-targeted plan (say, an RNG misfire storm) leaves the
+	// other families untouched.
+	PerChannel [NumResources]ChannelFaultRates
+}
+
+// ChannelFaultRates is the misfire configuration of one covert-channel
+// resource family.
+type ChannelFaultRates struct {
+	FalsePositiveRate float64
+	FalseNegativeRate float64
+}
+
+// zero reports whether the entry defers to the plan's scalar rates.
+func (r ChannelFaultRates) zero() bool {
+	return r.FalsePositiveRate == 0 && r.FalseNegativeRate == 0
+}
+
+// ChannelRates resolves the misfire rates governing one resource family: the
+// per-channel override when set, the scalar pair otherwise.
+func (f FaultPlan) ChannelRates(res Resource) ChannelFaultRates {
+	if res.Valid() && !f.PerChannel[res].zero() {
+		return f.PerChannel[res]
+	}
+	return ChannelFaultRates{
+		FalsePositiveRate: f.ChannelFalsePositiveRate,
+		FalseNegativeRate: f.ChannelFalseNegativeRate,
+	}
 }
 
 // Enabled reports whether any fault is configured.
 func (f FaultPlan) Enabled() bool {
+	for _, r := range f.PerChannel {
+		if !r.zero() {
+			return true
+		}
+	}
 	return f.LaunchFailureRate > 0 || f.PreemptionRatePerHour > 0 ||
 		f.ChannelFalsePositiveRate > 0 || f.ChannelFalseNegativeRate > 0 ||
 		f.ProbeFailureRate > 0
@@ -88,6 +128,14 @@ func (f FaultPlan) Validate() error {
 	} {
 		if r.v < 0 || r.v > 1 {
 			return fmt.Errorf("faas: FaultPlan.%s %v out of [0,1]", r.name, r.v)
+		}
+	}
+	for res, r := range f.PerChannel {
+		if r.FalsePositiveRate < 0 || r.FalsePositiveRate > 1 {
+			return fmt.Errorf("faas: FaultPlan.PerChannel[%s].FalsePositiveRate %v out of [0,1]", Resource(res), r.FalsePositiveRate)
+		}
+		if r.FalseNegativeRate < 0 || r.FalseNegativeRate > 1 {
+			return fmt.Errorf("faas: FaultPlan.PerChannel[%s].FalseNegativeRate %v out of [0,1]", Resource(res), r.FalseNegativeRate)
 		}
 	}
 	return nil

@@ -2,6 +2,7 @@ package faas
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 )
@@ -173,5 +174,96 @@ func TestFaultWorldDeterministic(t *testing.T) {
 	}
 	if f1 == (FaultCounters{}) {
 		t.Error("level-0.2 workload injected no faults at all")
+	}
+}
+
+func TestPerChannelFaultRates(t *testing.T) {
+	// A zero PerChannel entry falls back to the scalar pair.
+	scalar := FaultPlan{ChannelFalsePositiveRate: 0.1, ChannelFalseNegativeRate: 0.2}
+	for res := Resource(0); res.Valid(); res++ {
+		got := scalar.ChannelRates(res)
+		if got.FalsePositiveRate != 0.1 || got.FalseNegativeRate != 0.2 {
+			t.Errorf("%s rates = %+v, want scalar fallback", res, got)
+		}
+	}
+	// A set entry overrides for its family only.
+	targeted := scalar
+	targeted.PerChannel[ResourceLLC] = ChannelFaultRates{FalsePositiveRate: 0.5}
+	if got := targeted.ChannelRates(ResourceLLC); got.FalsePositiveRate != 0.5 || got.FalseNegativeRate != 0 {
+		t.Errorf("LLC override = %+v", got)
+	}
+	if got := targeted.ChannelRates(ResourceRNG); got.FalsePositiveRate != 0.1 {
+		t.Errorf("RNG rates = %+v, want scalar fallback", got)
+	}
+	// An unknown resource degrades to the scalar pair instead of panicking.
+	if got := targeted.ChannelRates(Resource(9)); got.FalsePositiveRate != 0.1 {
+		t.Errorf("unknown-resource rates = %+v", got)
+	}
+
+	// A plan whose only fault is a per-channel entry is enabled and valid.
+	var perOnly FaultPlan
+	perOnly.PerChannel[ResourceRNG] = ChannelFaultRates{FalseNegativeRate: 0.3}
+	if !perOnly.Enabled() {
+		t.Error("per-channel-only plan reports disabled")
+	}
+	if err := perOnly.Validate(); err != nil {
+		t.Errorf("per-channel-only plan invalid: %v", err)
+	}
+	var bad FaultPlan
+	bad.PerChannel[ResourceMemBus] = ChannelFaultRates{FalsePositiveRate: 1.5}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range per-channel rate validated")
+	}
+}
+
+// A channel-targeted misfire plan corrupts only its resource family: with a
+// certain RNG false-positive episode, every RNG round on a quiet host reads
+// phantom contention while LLC rounds on the same host stay clean.
+func TestChannelTargetedMisfire(t *testing.T) {
+	var plan FaultPlan
+	plan.PerChannel[ResourceRNG] = ChannelFaultRates{FalsePositiveRate: 1}
+	dc := faultDC(t, 29, plan)
+	var probe *Instance
+	for i := 0; i < 10 && probe == nil; i++ {
+		insts, err := dc.Account(fmt.Sprintf("t%d", i)).DeployService("s", ServiceConfig{}).Launch(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if insts[0].host.ResidentCount() == 1 {
+			probe = insts[0]
+		}
+	}
+	if probe == nil {
+		t.Skip("no single-resident host")
+	}
+	parts := []*Instance{probe}
+	var obs []int
+	var err error
+	for r := 0; r < 50; r++ {
+		obs, err = ContentionRoundOnInto(ResourceRNG, parts, obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if obs[0] < 2 {
+			t.Fatalf("round %d: RNG observation %d under a certain FP episode, want >= 2", r, obs[0])
+		}
+	}
+	llcPhantoms := 0
+	const llcRounds = 400
+	for r := 0; r < llcRounds; r++ {
+		obs, err = ContentionRoundOnInto(ResourceLLC, parts, obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if obs[0] >= 2 {
+			llcPhantoms++
+		}
+	}
+	// The LLC sees only its own base noise (~4%), not the RNG's misfires.
+	if rate := float64(llcPhantoms) / llcRounds; rate > 0.12 {
+		t.Errorf("LLC phantom rate %.3f under an RNG-targeted plan, want ~0.04", rate)
+	}
+	if dc.FaultCounters().ChannelMisfires == 0 {
+		t.Error("no misfire episodes were counted")
 	}
 }

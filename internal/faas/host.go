@@ -60,19 +60,23 @@ type Host struct {
 	// per-call map allocation. A mark value is meaningful only inside the
 	// single operation that minted it.
 	mark uint64
-	// roundCount and roundBG are contention-round scratch, valid only while
-	// mark holds the current round's epoch: the number of live participants
-	// resident here and the once-per-round background draw (-1 = not drawn).
+	// roundCount, roundBG and roundDrop are contention-round scratch, valid
+	// only while mark holds the current round's epoch: the number of live
+	// participants resident here, the once-per-round background draw (-1 =
+	// not drawn), and whether a load-sensitive channel dropped the whole
+	// round dead on this host.
 	roundCount int
 	roundBG    int8
+	roundDrop  int8
 
-	// Covert-channel misfire state (fault plane): misfireBias is the bias of
-	// the current misfire window (+1 phantom contention, -1 dead reads, 0
-	// healthy) and misfireCheckAt is the instant the window expires and a
-	// new episode may be drawn. Both stay zero while the channel fault rates
-	// are zero — no draws, no behavior change.
-	misfireBias    int8
-	misfireCheckAt simtime.Time
+	// Covert-channel misfire state (fault plane), per resource family:
+	// misfireBias is the bias of the current misfire window (+1 phantom
+	// contention, -1 dead reads, 0 healthy) and misfireCheckAt is the instant
+	// the window expires and a new episode may be drawn. Entries stay zero
+	// while the matching channel's fault rates are zero — no draws, no
+	// behavior change.
+	misfireBias    [NumResources]int8
+	misfireCheckAt [NumResources]simtime.Time
 }
 
 // initHostShell fills host i's identity fields — everything placement ranking
@@ -192,28 +196,35 @@ func (h *Host) ProbeFault() bool {
 	return true
 }
 
-// updateMisfire refreshes the host's covert-channel misfire state at the
-// start of a contention round: while a window is open its bias stands;
-// once it expires, a fresh episode is drawn from the channel fault stream.
-// With both channel rates zero this is a no-op (and draws nothing).
-func (h *Host) updateMisfire() {
-	fp := h.dc.faults.ChannelFalsePositiveRate
-	fn := h.dc.faults.ChannelFalseNegativeRate
-	if fp <= 0 && fn <= 0 {
+// updateMisfire refreshes the host's misfire state for one covert-channel
+// resource family at the start of a contention round: while a window is open
+// its bias stands; once it expires, a fresh episode is drawn from the channel
+// fault stream. With both of the channel's rates zero this is a no-op (and
+// draws nothing), so untargeted channels are never perturbed.
+func (h *Host) updateMisfire(res Resource) {
+	// Resolve the rates without copying the FaultPlan (ChannelRates takes a
+	// value receiver): this runs once per host per contention round.
+	f := &h.dc.faults
+	r := f.PerChannel[res]
+	if r.zero() {
+		r.FalsePositiveRate = f.ChannelFalsePositiveRate
+		r.FalseNegativeRate = f.ChannelFalseNegativeRate
+	}
+	if r.FalsePositiveRate <= 0 && r.FalseNegativeRate <= 0 {
 		return
 	}
 	now := h.dc.platform.sched.Now()
-	if now.Before(h.misfireCheckAt) {
+	if now.Before(h.misfireCheckAt[res]) {
 		return
 	}
-	h.misfireCheckAt = now.Add(ChannelMisfireWindow)
-	h.misfireBias = 0
-	if fp > 0 && h.dc.channelFaultRNG.Bool(fp) {
-		h.misfireBias = 1
-	} else if fn > 0 && h.dc.channelFaultRNG.Bool(fn) {
-		h.misfireBias = -1
+	h.misfireCheckAt[res] = now.Add(ChannelMisfireWindow)
+	h.misfireBias[res] = 0
+	if r.FalsePositiveRate > 0 && h.dc.channelFaultRNG.Bool(r.FalsePositiveRate) {
+		h.misfireBias[res] = 1
+	} else if r.FalseNegativeRate > 0 && h.dc.channelFaultRNG.Bool(r.FalseNegativeRate) {
+		h.misfireBias[res] = -1
 	}
-	if h.misfireBias != 0 {
+	if h.misfireBias[res] != 0 {
 		h.dc.faultCounters.ChannelMisfires++
 	}
 }

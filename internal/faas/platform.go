@@ -173,6 +173,9 @@ type DataCenter struct {
 	tracer            PlacementTracer
 	traceSeq          uint64
 	deprecationWarned bool
+	// channelShimWarned latches the one-shot TraceDeprecated event of the
+	// legacy ContentionRound shim.
+	channelShimWarned bool
 
 	// faults is the region's injected-failure plan; the dedicated fault
 	// streams below are derived unconditionally (derivation consumes no
@@ -394,6 +397,11 @@ const (
 	// vote thresholds (Varadarajan et al. report several seconds per
 	// pairwise test on it).
 	ResourceMemBus
+	// ResourceLLC is the last-level cache (Zhao & Fletcher): an order of
+	// magnitude more bandwidth and much shorter rounds than the RNG, but the
+	// cache is shared with every co-resident workload, so its error rates
+	// grow with host occupancy — see the channel-model registry in channel.go.
+	ResourceLLC
 )
 
 // String names the resource.
@@ -403,26 +411,32 @@ func (r Resource) String() string {
 		return "rng"
 	case ResourceMemBus:
 		return "membus"
+	case ResourceLLC:
+		return "llc"
 	default:
 		return "resource?"
 	}
 }
 
-// backgroundProb returns the per-host, per-round probability of contention
-// from unrelated tenants on this resource.
-func (r Resource) backgroundProb() float64 {
-	switch r {
-	case ResourceMemBus:
-		return 0.18
-	default:
-		return 0.008
-	}
-}
-
 // ContentionRound executes one synchronized pressure round on the hardware
-// RNG among the given instances — the paper's default channel. See
-// ContentionRoundOn for the semantics.
+// RNG among the given instances — the paper's default channel.
+//
+// Deprecated: name the channel explicitly with ContentionRoundOn (or drive a
+// covert.Channel). The shim stays for historical callers and emits a one-shot
+// TraceDeprecated placement event per region, mirroring the RandomPlacement
+// retirement.
 func ContentionRound(parts []*Instance) ([]int, error) {
+	for _, inst := range parts {
+		if inst.host == nil {
+			continue
+		}
+		dc := inst.host.dc
+		if !dc.channelShimWarned {
+			dc.channelShimWarned = true
+			dc.trace(PlacementEvent{Kind: TraceDeprecated})
+		}
+		break
+	}
 	return ContentionRoundOn(ResourceRNG, parts)
 }
 
@@ -459,6 +473,13 @@ func ContentionRoundOnInto(res Resource, parts []*Instance, out []int) ([]int, e
 		out = make([]int, len(parts))
 	}
 	out = out[:len(parts)]
+	if !res.Valid() {
+		return nil, fmt.Errorf("faas: unknown channel resource %d", int(res))
+	}
+	// Pointer into the registry: the round loop reads the model once per
+	// host per round, and a by-value ChannelModel copy per call is measurable
+	// on the pairwise-verification path.
+	model := &channelModels[res]
 	var mark uint64
 	for _, inst := range parts {
 		if inst.state == StateTerminated {
@@ -472,14 +493,18 @@ func ContentionRoundOnInto(res Resource, parts []*Instance, out []int) ([]int, e
 			h.mark = mark
 			h.roundCount = 0
 			h.roundBG = -1
-			h.updateMisfire()
+			h.roundDrop = 0
+			h.updateMisfire(res)
 		}
 		h.roundCount++
 	}
 	// Background usage by unrelated tenants, decided once per host per
 	// round. Each host draws from its own noise stream, so per-host draw
-	// counts — not cross-host ordering — are what determinism depends on.
-	bgProb := res.backgroundProb()
+	// counts — not cross-host ordering — are what determinism depends on:
+	// load-insensitive channels (RNG, memory bus) draw exactly one Bool per
+	// host per round, keeping their historical draw sequences frozen, while
+	// load-sensitive channels (the LLC) scale the false-positive odds with
+	// bystander occupancy and add one drop draw per host per round.
 	for i, inst := range parts {
 		if inst.state == StateTerminated {
 			out[i] = 0
@@ -488,16 +513,20 @@ func ContentionRoundOnInto(res Resource, parts []*Instance, out []int) ([]int, e
 		h := inst.host
 		if h.roundBG < 0 {
 			h.roundBG = 0
-			if h.noiseRNG.Bool(bgProb) {
+			if h.noiseRNG.Bool(model.roundNoise(h)) {
 				h.roundBG = 1
+			}
+			if model.LoadDrop > 0 && h.noiseRNG.Bool(model.roundDrop(h)) {
+				h.roundDrop = 1
 			}
 		}
 		units := h.roundCount + int(h.roundBG)
 		// An active misfire episode corrupts the observation: a phantom
 		// contention unit (false positive) or a dead read (false negative).
-		if h.misfireBias > 0 {
+		// A load-induced drop reads dead the same way.
+		if h.misfireBias[res] > 0 {
 			units++
-		} else if h.misfireBias < 0 {
+		} else if h.misfireBias[res] < 0 || h.roundDrop > 0 {
 			units = 0
 		}
 		out[i] = units

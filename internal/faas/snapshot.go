@@ -134,6 +134,7 @@ func cloneDataCenter(np *Platform, odc *DataCenter, cl *worldClone) (*DataCenter
 		policy:            odc.policy,
 		traceSeq:          odc.traceSeq,
 		deprecationWarned: odc.deprecationWarned,
+		channelShimWarned: odc.channelShimWarned,
 		faults:            odc.faults,
 		faultCounters:     odc.faultCounters,
 	}

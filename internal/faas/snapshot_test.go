@@ -101,7 +101,7 @@ func driveWorld(t *testing.T, p *Platform) []string {
 		}
 	}
 	p.Scheduler().Advance(90 * time.Minute) // cross the immunity boundary
-	if out, err := ContentionRound(s1.Instances()); err != nil {
+	if out, err := ContentionRoundOn(ResourceRNG, s1.Instances()); err != nil {
 		rec("round err=%v", err)
 	} else {
 		rec("round %v", out)
