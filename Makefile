@@ -16,6 +16,8 @@ check: lint bench-scale bench-gate
 	@echo "multiregion smoke OK"
 	@$(GO) run ./cmd/eaao -quick run channelablation >/dev/null
 	@echo "channelablation smoke OK"
+	@$(GO) run ./cmd/eaao -quick run noisesweep >/dev/null
+	@echo "noisesweep smoke OK"
 	@$(GO) run ./internal/tools/benchjson -label smoke \
 		-in internal/tools/benchfmt/testdata/sample_bench.txt -out /tmp/BENCH_smoke.json
 	@$(GO) run ./internal/tools/benchdiff /tmp/BENCH_smoke.json /tmp/BENCH_smoke.json >/dev/null
@@ -62,8 +64,8 @@ bench-diff:
 # events/sec drop; allocs/event growth). Records are snapshots from a quiet
 # machine, so the gate is deterministic — it audits the trajectory, it does
 # not re-run benchmarks.
-GATE_BASE ?= BENCH_pr8.json
-GATE_HEAD ?= BENCH_pr9.json
+GATE_BASE ?= BENCH_pr9.json
+GATE_HEAD ?= BENCH_pr10.json
 bench-gate:
 	@$(GO) run ./internal/tools/benchdiff -gate 25 $(GATE_BASE) $(GATE_HEAD)
 	@echo "bench gate OK"

@@ -138,20 +138,31 @@ func BenchmarkReattack(b *testing.B) {
 // Quick scale, like every bench) and reports the kernel's throughput
 // trajectory: scheduler events per wall second and heap allocations per
 // event, plus the deterministic event and peak-live counts they normalize.
+// The quiet variant is the seed-era kernel workload; loaded attaches
+// background-tenant traffic (-load 0.4) so the bench gate prices the
+// event-kernel overhead of a living cloud.
 func BenchmarkScaleKernel(b *testing.B) {
-	b.ReportAllocs()
-	var res *ExperimentResult
-	var err error
-	for i := 0; i < b.N; i++ {
-		res, err = RunExperiment("scale", benchCtx())
-		if err != nil {
-			b.Fatal(err)
+	run := func(b *testing.B, ctx ExperimentContext) {
+		b.ReportAllocs()
+		var res *ExperimentResult
+		var err error
+		for i := 0; i < b.N; i++ {
+			res, err = RunExperiment("scale", ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
 		}
+		b.ReportMetric(res.Metrics["runtime_events_per_sec"], "events/sec")
+		b.ReportMetric(res.Metrics["runtime_allocs_per_event"], "allocs/event")
+		b.ReportMetric(res.Metrics["events_executed"], "events")
+		b.ReportMetric(res.Metrics["peak_live_instances"], "peak-live")
 	}
-	b.ReportMetric(res.Metrics["runtime_events_per_sec"], "events/sec")
-	b.ReportMetric(res.Metrics["runtime_allocs_per_event"], "allocs/event")
-	b.ReportMetric(res.Metrics["events_executed"], "events")
-	b.ReportMetric(res.Metrics["peak_live_instances"], "peak-live")
+	b.Run("quiet", func(b *testing.B) { run(b, benchCtx()) })
+	b.Run("loaded", func(b *testing.B) {
+		ctx := benchCtx()
+		ctx.Load = 0.4
+		run(b, ctx)
+	})
 }
 
 // --- ablations ------------------------------------------------------------

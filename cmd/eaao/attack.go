@@ -14,7 +14,7 @@ import (
 // runAttack implements `eaao attack`: a parameterized attacker-vs-victim
 // campaign on a fresh simulated platform, printing the coverage report and
 // campaign cost. It is the CLI face of examples/colocation-attack.
-func runAttack(args []string, seed uint64, quick bool, policy eaao.PlacementPolicy, faults eaao.FaultPlan, channelDefault string) error {
+func runAttack(args []string, seed uint64, quick bool, policy eaao.PlacementPolicy, faults eaao.FaultPlan, channelDefault string, load float64) error {
 	fs := flag.NewFlagSet("attack", flag.ExitOnError)
 	region := fs.String("region", string(eaao.USEast1), "target region (us-east1, us-central1, us-west1)")
 	channel := fs.String("channel", channelDefault, "covert channel for verification: rng, llc, membus, combined (empty = rng)")
@@ -61,6 +61,11 @@ func runAttack(args []string, seed uint64, quick bool, policy eaao.PlacementPoli
 			profiles[i].Faults = faults
 		}
 	}
+	if load > 0 {
+		for i := range profiles {
+			profiles[i].Traffic = eaao.DefaultTrafficModel(profiles[i].NumHosts, load)
+		}
+	}
 	gen := eaao.Gen1
 	if *gen2 {
 		gen = eaao.Gen2
@@ -84,13 +89,18 @@ func runAttack(args []string, seed uint64, quick bool, policy eaao.PlacementPoli
 
 	if *regions != "" {
 		return runFleetAttack(seed, profiles, strings.Split(*regions, ","),
-			*planner, cfg, gen, strat, *victims, faults)
+			*planner, cfg, gen, strat, *victims, faults, load)
 	}
 
 	pl := eaao.NewPlatform(seed, profiles...)
 	dc, err := pl.Region(eaao.Region(*region))
 	if err != nil {
 		return err
+	}
+	if load > 0 {
+		// Let the bystander tenants ramp to their target before anyone
+		// launches — the same warm-up the noisesweep experiment uses.
+		dc.Scheduler().Advance(2 * time.Hour)
 	}
 	vic, err := launchVictims(dc, gen, *victims)
 	if err != nil {
@@ -158,7 +168,7 @@ func launchVictims(dc *eaao.DataCenter, gen eaao.Gen, n int) ([]*eaao.Instance, 
 // between them, printing per-region and fleet-wide ledgers.
 func runFleetAttack(seed uint64, profiles []eaao.RegionProfile, names []string,
 	plannerName string, cfg eaao.AttackConfig, gen eaao.Gen,
-	strat eaao.LaunchStrategy, victims int, faults eaao.FaultPlan) error {
+	strat eaao.LaunchStrategy, victims int, faults eaao.FaultPlan, load float64) error {
 	var selected []eaao.RegionProfile
 	for _, name := range names {
 		r := eaao.Region(strings.TrimSpace(name))
@@ -183,6 +193,11 @@ func runFleetAttack(seed uint64, profiles []eaao.RegionProfile, names []string,
 	fleet, err := eaao.NewFleet(seed, selected...)
 	if err != nil {
 		return err
+	}
+	if load > 0 {
+		for _, dc := range fleet.Shards() {
+			dc.Scheduler().Advance(2 * time.Hour)
+		}
 	}
 
 	start := time.Now()

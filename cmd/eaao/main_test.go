@@ -93,28 +93,33 @@ func TestRunAttackSmoke(t *testing.T) {
 		"-launches", "3",
 		"-victims", "30",
 	}
-	if err := runAttack(args, 42, true, nil, eaao.FaultPlan{}, ""); err != nil {
+	if err := runAttack(args, 42, true, nil, eaao.FaultPlan{}, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	// A policy override flows through to the platform build.
-	if err := runAttack(args, 42, true, eaao.RandomUniformPolicy{}, eaao.FaultPlan{}, ""); err != nil {
+	if err := runAttack(args, 42, true, eaao.RandomUniformPolicy{}, eaao.FaultPlan{}, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	// A channel override flows through to the campaign's tester.
-	if err := runAttack(args, 42, true, nil, eaao.FaultPlan{}, "llc"); err != nil {
+	if err := runAttack(args, 42, true, nil, eaao.FaultPlan{}, "llc", 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := runAttack(append([]string{"-channel", "combined"}, args...), 42, true, nil, eaao.FaultPlan{}, ""); err != nil {
+	if err := runAttack(append([]string{"-channel", "combined"}, args...), 42, true, nil, eaao.FaultPlan{}, "", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Background traffic (-load) flows through to the platform build; the
+	// campaign carries retry budgets because a loaded world sheds launches.
+	if err := runAttack(append([]string{"-retries", "6"}, args...), 42, true, nil, eaao.FaultPlan{}, "", 0.4); err != nil {
 		t.Fatal(err)
 	}
 	// Unknown strategy, region and channel errors surface.
-	if err := runAttack([]string{"-strategy", "bogus"}, 42, true, nil, eaao.FaultPlan{}, ""); err == nil {
+	if err := runAttack([]string{"-strategy", "bogus"}, 42, true, nil, eaao.FaultPlan{}, "", 0); err == nil {
 		t.Error("bogus strategy accepted")
 	}
-	if err := runAttack([]string{"-region", "mars"}, 42, true, nil, eaao.FaultPlan{}, ""); err == nil {
+	if err := runAttack([]string{"-region", "mars"}, 42, true, nil, eaao.FaultPlan{}, "", 0); err == nil {
 		t.Error("bogus region accepted")
 	}
-	if err := runAttack([]string{"-channel", "hyperlane"}, 42, true, nil, eaao.FaultPlan{}, ""); err == nil {
+	if err := runAttack([]string{"-channel", "hyperlane"}, 42, true, nil, eaao.FaultPlan{}, "", 0); err == nil {
 		t.Error("bogus channel accepted")
 	}
 }
@@ -128,18 +133,18 @@ func TestRunFleetAttackSmoke(t *testing.T) {
 		"-launches", "3",
 		"-victims", "30",
 	}
-	if err := runAttack(args, 42, true, nil, eaao.FaultPlan{}, ""); err != nil {
+	if err := runAttack(args, 42, true, nil, eaao.FaultPlan{}, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	// A channel override reaches every shard campaign.
-	if err := runAttack(args, 42, true, nil, eaao.FaultPlan{}, "llc"); err != nil {
+	if err := runAttack(args, 42, true, nil, eaao.FaultPlan{}, "llc", 0); err != nil {
 		t.Fatal(err)
 	}
 	// Unknown fleet regions and planners error out.
-	if err := runAttack([]string{"-regions", "us-east1,mars"}, 42, true, nil, eaao.FaultPlan{}, ""); err == nil {
+	if err := runAttack([]string{"-regions", "us-east1,mars"}, 42, true, nil, eaao.FaultPlan{}, "", 0); err == nil {
 		t.Error("bogus fleet region accepted")
 	}
-	if err := runAttack([]string{"-regions", "us-east1", "-planner", "bogus"}, 42, true, nil, eaao.FaultPlan{}, ""); err == nil {
+	if err := runAttack([]string{"-regions", "us-east1", "-planner", "bogus"}, 42, true, nil, eaao.FaultPlan{}, "", 0); err == nil {
 		t.Error("bogus planner accepted")
 	}
 }

@@ -73,6 +73,11 @@ type (
 	HostID = faas.HostID
 	// InstanceSize is a container resource specification (Table 1).
 	InstanceSize = faas.InstanceSize
+	// TrafficModel parameterizes a region's background-tenant traffic (the
+	// living-cloud load the noisesweep experiment and -load flag attach).
+	TrafficModel = faas.TrafficModel
+	// TrafficStats reports what the background tenants are doing right now.
+	TrafficStats = faas.TrafficStats
 	// Guest is the sandboxed view attack code runs against.
 	Guest = sandbox.Guest
 	// Gen identifies the sandbox generation (Gen1 gVisor, Gen2 VM).
@@ -354,6 +359,15 @@ func USCentral1Profile() RegionProfile { return faas.USCentral1Profile() }
 
 // USWest1Profile returns the default us-west1 data center profile.
 func USWest1Profile() RegionProfile { return faas.USWest1Profile() }
+
+// DefaultTrafficModel returns a background-traffic model with the stock
+// Zipf/burst/diurnal shape, sized to the given tenant count and steady-state
+// fleet utilization target. Assign it to RegionProfile.Traffic; the zero
+// TrafficModel keeps a region quiet and byte-identical to a traffic-free
+// build.
+func DefaultTrafficModel(tenants int, util float64) TrafficModel {
+	return faas.DefaultTrafficModel(tenants, util)
+}
 
 // CollectGen1 takes one Gen 1 fingerprint measurement inside a guest.
 func CollectGen1(g *Guest) (Sample, error) { return fingerprint.CollectGen1(g) }

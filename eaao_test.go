@@ -119,8 +119,8 @@ func TestAttackJourney(t *testing.T) {
 
 func TestExperimentRegistryThroughFacade(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 27 {
-		t.Fatalf("registry has %d experiments, want 27", len(exps))
+	if len(exps) != 28 {
+		t.Fatalf("registry has %d experiments, want 28", len(exps))
 	}
 	res, err := RunExperiment("table1", benchCtx())
 	if err != nil {
@@ -164,6 +164,27 @@ func TestDeterminismThroughFacade(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("same seed produced different fingerprints at %d: %s vs %s", i, a[i], b[i])
 		}
+	}
+}
+
+func TestBackgroundTrafficThroughFacade(t *testing.T) {
+	prof := USWest1Profile()
+	prof.Traffic = DefaultTrafficModel(40, 0.6)
+	pl := NewPlatform(7, prof)
+	dc := pl.MustRegion(USWest1)
+	dc.Scheduler().Advance(2 * time.Hour)
+	st := dc.TrafficStats()
+	if st.Tenants != 40 {
+		t.Errorf("Tenants = %d, want 40", st.Tenants)
+	}
+	if st.LiveInstances == 0 || st.Utilization <= 0 {
+		t.Errorf("warmed traffic world is idle: %+v", st)
+	}
+	// Same seed, same model → identical load trajectory.
+	pl2 := NewPlatform(7, prof)
+	pl2.MustRegion(USWest1).Scheduler().Advance(2 * time.Hour)
+	if st2 := pl2.MustRegion(USWest1).TrafficStats(); st2 != st {
+		t.Errorf("traffic diverged across identical builds: %+v vs %+v", st, st2)
 	}
 }
 

@@ -81,6 +81,43 @@ type Config struct {
 	// without the channel layer), "llc", "membus", or "combined" (majority
 	// across all three). An explicit SetTester overrides it.
 	Channel string
+
+	// Noise-hardening budgets. All default to zero, which reproduces the
+	// quiet-world campaign byte for byte. A campaign attacking a region with
+	// background traffic (faas.TrafficModel) sets these to keep verification
+	// reliable as bystander load corrupts the covert channels (see the
+	// noisesweep experiment); everything they spend is metered to the
+	// CampaignStats noise ledger.
+
+	// CalibrationRounds, when positive, re-derives the tester's vote
+	// thresholds against the live world before the first verification: a
+	// footprint probe samples each channel's background rate over this many
+	// solo rounds (covert.CalibrateChannel) instead of trusting quiet-world
+	// constants.
+	CalibrationRounds int
+	// MarginFloor is the CTest health bar: a test whose minimum verdict
+	// margin (covert.TestEvent.MinMargin) falls below this fraction counts
+	// as low-margin, and a verification pass with more than 25% low-margin
+	// tests triggers the escalation ladder.
+	MarginFloor float64
+	// MaxVoteBudget caps the escalation ladder's majority-vote budget; 0
+	// disables vote-budget escalation (the ladder goes straight to the
+	// fallback channel).
+	MaxVoteBudget int
+	// FallbackChannel, when set, is the channel the campaign swaps to when
+	// vote-budget escalation alone cannot restore margins — typically the
+	// slow but load-robust "rng" after starting on the fast "llc".
+	FallbackChannel string
+	// QuarantineAfter and NoisyHostBar quarantine persistently unreliable
+	// footprint instances: one whose solo background (or dead-read) rate is
+	// at least NoisyHostBar on QuarantineAfter consecutive unhealthy passes
+	// is excluded from verification. 0 disables quarantine.
+	QuarantineAfter int
+	NoisyHostBar    float64
+	// CongestionBackoff, when positive, adds a noise-ledger hold before each
+	// launch retry — the campaign backs off while the congested platform
+	// sheds load instead of hammering it at the bare fault cadence.
+	CongestionBackoff time.Duration
 }
 
 // DefaultConfig returns the paper's optimized-strategy parameters.
@@ -104,7 +141,7 @@ func (c Config) Validate() error {
 		return fmt.Errorf("attack: InstancesPerLaunch must be positive")
 	case c.Launches <= 0:
 		return fmt.Errorf("attack: Launches must be positive")
-	case c.Interval < 0 || c.HoldActive < 0 || c.RetryBackoff < 0:
+	case c.Interval < 0 || c.HoldActive < 0 || c.RetryBackoff < 0 || c.CongestionBackoff < 0:
 		return fmt.Errorf("attack: negative durations")
 	case c.Precision <= 0:
 		return fmt.Errorf("attack: Precision must be positive")
@@ -112,8 +149,24 @@ func (c Config) Validate() error {
 		return fmt.Errorf("attack: negative fault-recovery budgets")
 	case !covert.ValidChannel(c.Channel):
 		return fmt.Errorf("attack: unknown channel %q (rng, llc, membus, combined)", c.Channel)
+	case c.CalibrationRounds < 0 || c.MaxVoteBudget < 0 || c.QuarantineAfter < 0:
+		return fmt.Errorf("attack: negative noise-hardening budgets")
+	case c.MarginFloor < 0 || c.MarginFloor >= 1:
+		return fmt.Errorf("attack: MarginFloor must be in [0, 1)")
+	case c.NoisyHostBar < 0 || c.NoisyHostBar > 1:
+		return fmt.Errorf("attack: NoisyHostBar must be in [0, 1]")
+	case c.FallbackChannel != "" && !covert.ValidChannel(c.FallbackChannel):
+		return fmt.Errorf("attack: unknown FallbackChannel %q (rng, llc, membus, combined)", c.FallbackChannel)
 	}
 	return nil
+}
+
+// NoiseHardened reports whether any noise-hardening budget is set. A false
+// result guarantees Verify takes the historical single-pass path,
+// byte-identical to builds that predate noise hardening.
+func (c Config) NoiseHardened() bool {
+	return c.CalibrationRounds > 0 || c.MarginFloor > 0 || c.MaxVoteBudget > 0 ||
+		c.FallbackChannel != "" || c.QuarantineAfter > 0 || c.CongestionBackoff > 0
 }
 
 // FootprintTracker accumulates the set of apparent hosts (distinct Gen 1

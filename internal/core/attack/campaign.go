@@ -42,6 +42,18 @@ type Campaign struct {
 	// so retry backoff can attribute the resident footprint's holding cost
 	// to the fault ledger.
 	services []*faas.Service
+
+	// Noise-hardening state (noise.go). calibrated latches the one-shot
+	// live-world calibration; onFallback marks the ladder's channel swap as
+	// spent; strikes and quarantined implement the noisy-host ladder; and
+	// passTests/passLow are the margin-health window of the verification
+	// pass currently running.
+	calibrated  bool
+	onFallback  bool
+	strikes     map[*faas.Instance]int
+	quarantined map[*faas.Instance]bool
+	passTests   int
+	passLow     int
 }
 
 // NewCampaign validates the configuration and binds a strategy to an
@@ -130,10 +142,24 @@ func (c *Campaign) Tester() covert.Runner {
 
 // SetTester replaces the campaign's covert runner (e.g. with a calibrated,
 // memory-bus, or majority-combined tester). The campaign takes over cost
-// accounting: the runner's sink is pointed at the stats ledger.
+// accounting: the runner's sink is pointed at the campaign, which forwards
+// every event to the stats ledger (and tracks margin health for the noise
+// ladder).
 func (c *Campaign) SetTester(t covert.Runner) {
 	c.tester = t
-	t.SetSink(&c.stats)
+	t.SetSink(c)
+}
+
+// ObserveTest implements covert.Sink: every CTest the campaign's tester runs
+// is forwarded to the stats ledger, and its verdict margin is scored against
+// the noise-hardening health bar.
+func (c *Campaign) ObserveTest(ev covert.TestEvent) {
+	c.stats.ObserveTest(ev)
+	c.passTests++
+	if c.cfg.MarginFloor > 0 && ev.MinMargin < c.cfg.MarginFloor {
+		c.passLow++
+		c.stats.LowMarginTests++
+	}
 }
 
 // Verify runs the verify+score stages against a victim instance set: the
@@ -147,19 +173,39 @@ func (c *Campaign) Verify(victims []*faas.Instance) (Coverage, []*faas.Instance,
 	if c.res == nil {
 		return Coverage{}, nil, fmt.Errorf("attack: Verify before Launch")
 	}
-	cov, spies, err := MeasureCoverageDetailOpts(c.Tester(), c.res.Live, victims, CoverageOpts{
+	if c.cfg.NoiseHardened() {
+		return c.verifyHardened(victims)
+	}
+	cov, spies, err := c.measure(victims)
+	if err != nil {
+		return Coverage{}, nil, err
+	}
+	c.scorePass(cov)
+	return cov, spies, nil
+}
+
+// measure runs one verification pass over the (non-quarantined) live
+// footprint and meters its probe-fault recovery; folding the coverage into
+// the score ledger is the caller's job, so the hardened path can re-pass
+// without double-counting victims.
+func (c *Campaign) measure(victims []*faas.Instance) (Coverage, []*faas.Instance, error) {
+	cov, spies, err := MeasureCoverageDetailOpts(c.Tester(), c.liveForVerify(), victims, CoverageOpts{
 		Precision:        c.cfg.Precision,
 		ProbeRetryBudget: c.cfg.ProbeRetryBudget,
 	})
 	if err != nil {
 		return Coverage{}, nil, err
 	}
-	c.stats.Verifications++
-	c.stats.VictimInstances += cov.VictimTotal
-	c.stats.VictimsCovered += cov.VictimCovered
 	c.stats.ProbeRetries += cov.Faults.ProbeRetries
 	c.stats.ProbeSkips += cov.Faults.AttackersSkipped + cov.Faults.VictimsSkipped
 	return cov, spies, nil
+}
+
+// scorePass folds one accepted verification pass into the score ledger.
+func (c *Campaign) scorePass(cov Coverage) {
+	c.stats.Verifications++
+	c.stats.VictimInstances += cov.VictimTotal
+	c.stats.VictimsCovered += cov.VictimCovered
 }
 
 // retryHold advances the clock for one launch-retry backoff and attributes
@@ -169,19 +215,26 @@ func (c *Campaign) Verify(victims []*faas.Instance) (Coverage, []*faas.Instance,
 // time); FaultVCPUSeconds/FaultUSD single out the share a fault-free run
 // would not have paid.
 func (c *Campaign) retryHold(wait time.Duration) {
-	secs := wait.Seconds()
-	var v, g float64
-	for _, svc := range c.services {
-		n := float64(len(svc.ActiveInstances()))
-		size := svc.Size()
-		v += n * size.VCPU * secs
-		g += n * size.MemoryGB * secs
-	}
+	v, g := c.residentUsage(wait)
 	c.sched.Advance(wait)
 	c.stats.RetryBackoffWall += wait
 	c.stats.FaultVCPUSeconds += v
 	c.stats.FaultGBSeconds += g
 	c.stats.FaultUSD += pricing.CloudRunRates().Cost(v, g)
+}
+
+// residentUsage returns the billable usage the resident footprint accrues
+// over a wall-time span (the attribution quantum both the fault and noise
+// ledgers price holds with).
+func (c *Campaign) residentUsage(wait time.Duration) (vcpuSecs, gbSecs float64) {
+	secs := wait.Seconds()
+	for _, svc := range c.services {
+		n := float64(len(svc.ActiveInstances()))
+		size := svc.Size()
+		vcpuSecs += n * size.VCPU * secs
+		gbSecs += n * size.MemoryGB * secs
+	}
+	return vcpuSecs, gbSecs
 }
 
 // campaignSink is the engine's CampaignSink implementation, bound to one
@@ -204,6 +257,12 @@ func (s campaignSink) LaunchWave(svc *faas.Service, launchID int) (Wave, error) 
 	insts, err := svc.Launch(c.cfg.InstancesPerLaunch)
 	for attempt := 0; err != nil && errors.Is(err, faas.ErrLaunchFault) && attempt < c.cfg.LaunchRetries; attempt++ {
 		c.stats.LaunchRetries++
+		if cb := c.cfg.CongestionBackoff; cb > 0 {
+			// Noise-hardened campaigns interpret a rejection as the platform
+			// shedding load and back off extra before the retry cadence.
+			c.stats.CongestionBackoffs++
+			c.noiseHold(cb)
+		}
 		if wait := c.cfg.RetryBackoff << attempt; wait > 0 {
 			c.retryHold(wait)
 		}

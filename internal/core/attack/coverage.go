@@ -30,6 +30,14 @@ type Coverage struct {
 	SharedHosts int
 	// Tests is the covert-channel test count the verification consumed.
 	Tests int
+	// FingerprintPredicted is how many probed victims the boot-time identity
+	// prior places on an attacker host (a Gen 1 fingerprint shared with some
+	// attacker representative) before any covert confirmation. Boot-time
+	// identity is load-immune, so VictimCovered falling far below this
+	// number is the signature of the covert channel — not the co-location —
+	// failing; noise-hardened campaigns treat the gap as a ladder trigger.
+	// Zero for Gen 2 measurements, whose coarse fingerprints over-predict.
+	FingerprintPredicted int
 	// Faults is the probe-fault recovery bookkeeping of this measurement;
 	// all-zero on a fault-free platform.
 	Faults CoverageFaults
@@ -185,6 +193,22 @@ func MeasureCoverageDetailOpts(tester coloc.Tester, attacker, victims []*faas.In
 	if len(items) == 0 {
 		// Every instance faulted out: nothing to verify, nothing covered.
 		return cov, nil, nil
+	}
+
+	// The identity prior, recorded before covert confirmation: Gen 1
+	// fingerprints are (near-)exact host identifiers, so a victim sharing a
+	// key with an attacker representative is predicted co-located. Gen 2
+	// keys are coarse, so the prior is not meaningful there.
+	if !gen2 {
+		attackerKeys := make(map[fingerprint.Key]bool, attackerCount)
+		for i := 0; i < attackerCount; i++ {
+			attackerKeys[items[i].Fingerprint] = true
+		}
+		for v := attackerCount; v < len(items); v++ {
+			if attackerKeys[items[v].Fingerprint] {
+				cov.FingerprintPredicted++
+			}
+		}
 	}
 
 	opt := coloc.DefaultOptions()

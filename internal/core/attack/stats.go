@@ -97,6 +97,37 @@ type CampaignStats struct {
 	FaultVCPUSeconds float64
 	FaultGBSeconds   float64
 	FaultUSD         float64
+
+	// Noise-hardening ledger. All-zero without Config noise budgets; a
+	// campaign hardened against background-tenant load (faas.TrafficModel)
+	// meters every adaptation and its attributable cost here.
+
+	// Calibrations counts live-world threshold derivations (the starting
+	// channel's one-shot calibration plus any ladder channel swap).
+	Calibrations int
+	// LowMarginTests counts CTests whose minimum verdict margin fell below
+	// Config.MarginFloor — the raw signal the escalation ladder keys on.
+	LowMarginTests int
+	// NoiseEscalations counts vote-budget raises; ChannelFallbacks counts
+	// swaps to the fallback channel.
+	NoiseEscalations int
+	ChannelFallbacks int
+	// Quarantined counts footprint instances excluded from verification as
+	// persistently noisy.
+	Quarantined int
+	// CongestionBackoffs counts the extra pre-retry holds taken when the
+	// congested platform rejected a launch wave.
+	CongestionBackoffs int
+	// NoiseWall is the virtual time noise hardening consumed: calibration
+	// sampling, congestion backoff, escalated re-verification passes.
+	NoiseWall time.Duration
+	// NoiseVCPUSeconds, NoiseGBSeconds and NoiseUSD attribute the resident
+	// footprint's usage during that time — what surviving the living cloud
+	// cost on top of the quiet-world campaign. Attribution, not an extra
+	// charge, by the same convention as the fault ledger.
+	NoiseVCPUSeconds float64
+	NoiseGBSeconds   float64
+	NoiseUSD         float64
 }
 
 // ChannelCost is the verify-stage covert spend attributed to one channel.
@@ -114,6 +145,13 @@ type ChannelCost struct {
 func (s CampaignStats) FaultRecovery() bool {
 	return s.LaunchRetries > 0 || s.ReVotes > 0 || s.ProbeRetries > 0 ||
 		s.ProbeSkips > 0 || s.RetryBackoffWall > 0
+}
+
+// NoiseHardening reports whether any noise-hardening activity was metered.
+func (s CampaignStats) NoiseHardening() bool {
+	return s.Calibrations > 0 || s.LowMarginTests > 0 || s.NoiseEscalations > 0 ||
+		s.ChannelFallbacks > 0 || s.Quarantined > 0 || s.CongestionBackoffs > 0 ||
+		s.NoiseWall > 0
 }
 
 // ObserveTest implements covert.Sink: the campaign's tester reports every
@@ -190,6 +228,11 @@ func (s CampaignStats) String() string {
 		fmt.Fprintf(&b, "\n  faults:      %d launch retries (%v backoff, $%.2f held), %d re-votes, %d probe retries, %d skips",
 			s.LaunchRetries, s.RetryBackoffWall, s.FaultUSD, s.ReVotes, s.ProbeRetries, s.ProbeSkips)
 	}
+	if s.NoiseHardening() {
+		fmt.Fprintf(&b, "\n  noise:       %d calibrations, %d low-margin tests, %d escalations, %d fallbacks, %d quarantined, %d backoffs, %v held ($%.2f)",
+			s.Calibrations, s.LowMarginTests, s.NoiseEscalations, s.ChannelFallbacks,
+			s.Quarantined, s.CongestionBackoffs, s.NoiseWall, s.NoiseUSD)
+	}
 	return b.String()
 }
 
@@ -242,6 +285,16 @@ func (f FleetStats) Totals() CampaignStats {
 		t.FaultVCPUSeconds += s.FaultVCPUSeconds
 		t.FaultGBSeconds += s.FaultGBSeconds
 		t.FaultUSD += s.FaultUSD
+		t.Calibrations += s.Calibrations
+		t.LowMarginTests += s.LowMarginTests
+		t.NoiseEscalations += s.NoiseEscalations
+		t.ChannelFallbacks += s.ChannelFallbacks
+		t.Quarantined += s.Quarantined
+		t.CongestionBackoffs += s.CongestionBackoffs
+		t.NoiseWall += s.NoiseWall
+		t.NoiseVCPUSeconds += s.NoiseVCPUSeconds
+		t.NoiseGBSeconds += s.NoiseGBSeconds
+		t.NoiseUSD += s.NoiseUSD
 		for _, cc := range s.PerChannel {
 			t.mergeChannel(cc)
 		}

@@ -138,6 +138,59 @@ func NewChannelTester(sched *simtime.Scheduler, ch Channel, cfg Config) *Tester 
 	return t
 }
 
+// CalibratedRunnerFor resolves a channel selector exactly like RunnerFor but
+// re-derives every member channel's vote threshold against the live world:
+// the probe instance samples each channel's background rate over sampleRounds
+// solo rounds (CalibrateChannel) and the threshold comes from the measurement
+// instead of the quiet-world constant. On a busy host the measured background
+// includes real bystander noise, so the derived threshold is the one an
+// attacker operating in a living cloud would actually use. It fails when a
+// channel's background is too high to separate (CalibrateChannel's error).
+func CalibratedRunnerFor(name string, sched *simtime.Scheduler, probe *faas.Instance, sampleRounds, voteBudget int) (Runner, error) {
+	calibrated := func(ch Channel) (*Tester, error) {
+		cfg, err := CalibrateChannel(ch, probe, sampleRounds)
+		if err != nil {
+			return nil, err
+		}
+		cfg.VoteBudget = voteBudget
+		return NewChannelTester(sched, ch, cfg), nil
+	}
+	if name == CombinedChannelName {
+		children := make([]*Tester, 0, 3)
+		for _, ch := range []Channel{RNGChannel(), LLCChannel(), MemBusChannel()} {
+			t, err := calibrated(ch)
+			if err != nil {
+				return nil, err
+			}
+			children = append(children, t)
+		}
+		return multiFromChildren(children), nil
+	}
+	ch, err := ChannelByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("covert: unknown channel %q (rng, llc, membus, combined)", name)
+	}
+	return calibrated(ch)
+}
+
+// Rebudgeter is implemented by runners that can clone themselves at a new
+// majority-vote budget while preserving their channels and (possibly
+// calibrated) thresholds — the hook noise-hardened campaigns escalate
+// through when a channel's margins collapse under load.
+type Rebudgeter interface {
+	Rebudget(voteBudget int) Runner
+}
+
+// Rebudget returns a new Tester on the same channel and configuration with
+// the vote budget replaced. Accumulated stats and the sink do not carry over.
+func (t *Tester) Rebudget(voteBudget int) Runner {
+	cfg := t.cfg
+	cfg.VoteBudget = voteBudget
+	nt := NewTester(t.sched, cfg)
+	nt.ch = t.ch
+	return nt
+}
+
 // MultiTester is the majority-combined multi-channel tester: every CTest
 // runs once per member channel and each instance's final verdict is the
 // majority of the per-channel verdicts. Corruption confined to one resource
@@ -157,12 +210,20 @@ func NewMultiTester(sched *simtime.Scheduler, voteBudget int, chs ...Channel) *M
 	if len(chs) == 0 {
 		panic("covert: MultiTester needs at least one channel")
 	}
-	m := &MultiTester{}
+	children := make([]*Tester, 0, len(chs))
 	for _, ch := range chs {
 		cfg := ch.Config()
 		cfg.VoteBudget = voteBudget
-		m.children = append(m.children, NewChannelTester(sched, ch, cfg))
+		children = append(children, NewChannelTester(sched, ch, cfg))
 	}
+	return multiFromChildren(children)
+}
+
+// multiFromChildren assembles a MultiTester around already-built member
+// testers (NewMultiTester's tail, shared with the calibrated and re-budgeted
+// construction paths).
+func multiFromChildren(children []*Tester) *MultiTester {
+	m := &MultiTester{children: children}
 	// The combined Config is synthetic: verification layers read only
 	// TestDuration (the wall cost of one combined test, the sum over
 	// channels), so the remaining fields come from the first channel.
@@ -233,6 +294,20 @@ func (m *MultiTester) CTest(instances []*faas.Instance, thresh int) ([]bool, err
 	m.stats.PairsTested += len(instances) * (len(instances) - 1) / 2
 	m.stats.InstanceTime += time.Duration(len(instances)) * m.combined.TestDuration
 	return out, nil
+}
+
+// Rebudget returns a new MultiTester whose member testers share channels and
+// thresholds with this one but carry the new vote budget.
+func (m *MultiTester) Rebudget(voteBudget int) Runner {
+	children := make([]*Tester, len(m.children))
+	for i, c := range m.children {
+		cfg := c.cfg
+		cfg.VoteBudget = voteBudget
+		nt := NewTester(c.sched, cfg)
+		nt.ch = c.ch
+		children[i] = nt
+	}
+	return multiFromChildren(children)
 }
 
 // PairTest reports whether the two instances are co-located by combined

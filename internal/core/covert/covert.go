@@ -18,6 +18,7 @@ package covert
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"eaao/internal/faas"
@@ -114,6 +115,12 @@ type TestEvent struct {
 	// the first (or only) run, k for the k-th re-vote under a VoteBudget.
 	// Observers meter fault-recovery spend by counting nonzero repetitions.
 	Repetition int
+	// MinMargin is the health of the test's least decisive verdict: the
+	// minimum over participants of |votes − VoteThreshold| / Rounds. A
+	// margin near zero means some participant's verdict hovered at the
+	// threshold — the signature of a channel degrading under noise, and what
+	// noise-hardened campaigns key their escalation on.
+	MinMargin float64
 }
 
 // Sink observes every CTest a Tester runs (PairTest included, since it is a
@@ -266,10 +273,14 @@ func (t *Tester) singleCTest(instances []*faas.Instance, m, rep int) ([]bool, er
 
 	out := make([]bool, len(instances))
 	positives := 0
+	minMargin := 1.0
 	for i, v := range votes {
 		out[i] = t.cfg.Verdict(v)
 		if out[i] {
 			positives++
+		}
+		if m := math.Abs(float64(v)-float64(t.cfg.VoteThreshold)) / float64(t.cfg.Rounds); m < minMargin {
+			minMargin = m
 		}
 	}
 	if t.sink != nil {
@@ -279,6 +290,7 @@ func (t *Tester) singleCTest(instances []*faas.Instance, m, rep int) ([]bool, er
 			Positives:    positives,
 			Duration:     t.cfg.TestDuration,
 			Repetition:   rep,
+			MinMargin:    minMargin,
 		})
 	}
 	return out, nil

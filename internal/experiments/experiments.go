@@ -55,6 +55,12 @@ type Context struct {
 	// byte-identical default), "llc", "membus", or "combined". Only
 	// faultsweep reads it; channelablation sweeps every channel itself.
 	Channel string
+	// Load, when > 0, attaches background-tenant traffic at that target
+	// utilization (one bystander tenant per host, faas.DefaultTrafficModel)
+	// to every region profile the experiments build — the CLI's -load flag.
+	// Zero keeps every region quiet, byte-identical to the seed era. The
+	// noisesweep experiment ignores this and sweeps its own tiers.
+	Load float64
 }
 
 // jobs resolves the effective worker count.
@@ -162,6 +168,7 @@ func init() {
 		{ID: "scale", Title: "Event-kernel throughput at fleet scale", PaperRef: "DESIGN.md event kernel; §5.2 scale context", Run: runScale},
 		{ID: "multiregion", Title: "Multi-region fleet campaigns under budget planners", PaperRef: "§5.2 scale-out; DESIGN.md fleet and planner", Run: runMultiRegion},
 		{ID: "channelablation", Title: "Covert-channel ablation: verification cost and fault resilience per channel", PaperRef: "§4.3 verification; DESIGN.md channel primitives", Run: runChannelAblation},
+		{ID: "noisesweep", Title: "Attack robustness vs background-tenant utilization", PaperRef: "§4.1 measurement conditions; DESIGN.md background traffic", Run: runNoiseSweep},
 	}
 }
 
@@ -217,6 +224,11 @@ func (c Context) profiles() []faas.RegionProfile {
 	if c.LegacySweeps {
 		for i := range profs {
 			profs[i].LegacySweeps = true
+		}
+	}
+	if c.Load > 0 {
+		for i := range profs {
+			profs[i].Traffic = faas.DefaultTrafficModel(profs[i].NumHosts, c.Load)
 		}
 	}
 	return profs

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"time"
@@ -47,6 +48,12 @@ func (c Context) scaleProfile() faas.RegionProfile {
 	// fire at scale.
 	p.Faults.PreemptionRatePerHour = 0.01
 	p.LegacySweeps = c.LegacySweeps
+	// -load layers background-tenant traffic on top of the workload: the
+	// kernel has to absorb the bystander churn (bursts, diurnal redraws,
+	// congestion) alongside the tenants' own demand phases.
+	if c.Load > 0 {
+		p.Traffic = faas.DefaultTrafficModel(p.NumHosts, c.Load)
+	}
 	return p
 }
 
@@ -107,7 +114,16 @@ func runScale(ctx Context) (*Result, error) {
 	peak := 0
 	for pi, demand := range phases {
 		for _, svc := range svcs {
-			if err := svc.SetDemand(demand); err != nil {
+			err := svc.SetDemand(demand)
+			// On a loaded region the congestion plane can shed a scale-up
+			// like any real control plane; retry with backoff. A quiet
+			// region never rejects, so the loop is inert for the recorded
+			// digests.
+			for tries := 0; err != nil && errors.Is(err, faas.ErrLaunchFault) && tries < 10; tries++ {
+				pl.Scheduler().Advance(15 * time.Second)
+				err = svc.SetDemand(demand)
+			}
+			if err != nil {
 				return nil, err
 			}
 		}

@@ -98,7 +98,7 @@ func stripTiming(s string) string {
 // world from splitmix(root, index) and results merge by index, so jobs=8
 // must reproduce jobs=1 byte for byte (timing metrics excluded).
 func TestParallelOutputByteIdentical(t *testing.T) {
-	for _, id := range []string{"fig4", "fig11a", "verifycost", "ablations", "faultsweep", "multiregion"} {
+	for _, id := range []string{"fig4", "fig11a", "verifycost", "ablations", "faultsweep", "multiregion", "noisesweep"} {
 		t.Run(id, func(t *testing.T) {
 			seq, err := Run(id, Context{Seed: 42, Quick: true, Jobs: 1})
 			if err != nil {

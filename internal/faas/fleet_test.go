@@ -1,8 +1,10 @@
 package faas
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
+	"time"
 )
 
 // fleetProfiles returns two small distinct regions for fleet tests.
@@ -44,6 +46,36 @@ func TestFleetShardMatchesSingleRegionPlatform(t *testing.T) {
 			t.Errorf("%s: fleet shard placement diverges from solo platform: %v vs %v",
 				prof.Name, got, want)
 		}
+	}
+}
+
+// TestFleetShardMatchesSoloLoadedWorlds extends the shard-vs-solo identity
+// to worlds with background traffic: the traffic engine derives everything
+// from the region's own streams, so a loaded shard inside a fleet stays
+// byte-identical to the same loaded region built solo — bystander churn,
+// congestion rejections, and attacker placement alike.
+func TestFleetShardMatchesSoloLoadedWorlds(t *testing.T) {
+	profs := fleetProfiles()
+	for i := range profs {
+		profs[i].Traffic = DefaultTrafficModel(40, 0.6)
+	}
+	fleet, err := NewFleet(42, profs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prof := range profs {
+		drive := func(dc *DataCenter) []string {
+			t.Helper()
+			dc.Platform().Scheduler().Advance(2 * time.Hour)
+			insts, err := dc.Account("acct").DeployService("svc", ServiceConfig{}).Launch(40)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dc.Platform().Scheduler().Advance(30 * time.Minute)
+			return []string{trafficDigest(dc), fmt.Sprint(hostSet(insts))}
+		}
+		want := drive(MustPlatform(42, prof).MustRegion(prof.Name))
+		diffLogs(t, string(prof.Name), want, drive(fleet.MustRegion(prof.Name)))
 	}
 }
 

@@ -237,6 +237,22 @@ func (h *Host) BootTime() simtime.Time { return h.dc.bootTimes[h.id] }
 // ResidentCount returns how many non-terminated instances live on the host.
 func (h *Host) ResidentCount() int { return len(h.instances) }
 
+// servingResidents counts residents that are actively serving request demand:
+// connected instances of an autoscaled service with demand > 0 (background
+// tenants). Footprint instances pinned through Launch never set demand, so
+// the count is zero on every host of a world without demand-driven
+// neighbors. Called at most once per host per contention round (the cached
+// roundBG/roundDrop draw), so the linear scan stays off the hot path.
+func (h *Host) servingResidents() int {
+	n := 0
+	for _, inst := range h.instances {
+		if inst.state == StateActive && inst.service.demand > 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // residentOf counts non-terminated instances of one service on the host.
 func (h *Host) residentOf(svc *Service) int {
 	n := 0

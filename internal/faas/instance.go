@@ -194,6 +194,7 @@ func (i *Instance) terminate(now simtime.Time) {
 	}
 	i.service.account.dc.cancelLifecycle(i)
 	i.service.account.dc.platform.sched.Cancel(&i.termEvent)
+	i.service.account.dc.liveInstances--
 	wasIdle := i.state == StateIdle
 	i.state = StateTerminated
 	i.host.detach(i)

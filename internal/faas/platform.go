@@ -187,6 +187,13 @@ type DataCenter struct {
 	channelFaultRNG *randx.Source
 	probeFaultRNG   *randx.Source
 	faultCounters   FaultCounters
+
+	// traffic is the region's background-tenant engine (nil when the
+	// profile's TrafficModel is disabled); liveInstances counts live
+	// (active + idle resident) instances region-wide — the numerator of the
+	// Utilization observable the congestion plane and experiments read.
+	traffic       *trafficState
+	liveInstances int
 }
 
 func newDataCenter(p *Platform, prof RegionProfile) *DataCenter {
@@ -216,6 +223,9 @@ func newDataCenter(p *Platform, prof RegionProfile) *DataCenter {
 		dc.scheduleChurnSweep()
 	} else {
 		dc.initLifecycleKernel()
+	}
+	if prof.Traffic.Enabled() {
+		dc.initTraffic()
 	}
 	return dc
 }

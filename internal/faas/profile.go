@@ -161,6 +161,14 @@ type RegionProfile struct {
 	// byte-identical to a fault-free build; see FaultPlan.
 	Faults FaultPlan
 
+	// Traffic configures the region's background-tenant workload: a
+	// population of bystander accounts whose autoscaled demand keeps the
+	// fleet realistically occupied while experiments run (see TrafficModel).
+	// The zero value disables the layer and leaves the simulation
+	// byte-identical to a build without it. Requires the event kernel
+	// (incompatible with LegacySweeps).
+	Traffic TrafficModel
+
 	// LegacySweeps restores the pre-event-kernel lifecycle implementation:
 	// the hourly churn/preemption sweep that scans every instance of the
 	// region (scheduleChurnSweep) and lazy demand-decay detection at the next
@@ -227,7 +235,16 @@ func (p RegionProfile) Validate() error {
 	case p.MaxInstancesPerService <= 0:
 		return fmt.Errorf("faas: %s: MaxInstancesPerService must be positive", p.Name)
 	}
-	return p.Faults.Validate()
+	if err := p.Faults.Validate(); err != nil {
+		return err
+	}
+	if p.Traffic.Enabled() && p.LegacySweeps {
+		return fmt.Errorf("faas: %s: background traffic requires the event kernel (LegacySweeps must be false)", p.Name)
+	}
+	if err := p.Traffic.Validate(); err != nil {
+		return fmt.Errorf("faas: %s: %w", p.Name, err)
+	}
+	return nil
 }
 
 // baseProfile holds the parameters shared by all three default regions.

@@ -167,6 +167,18 @@ func (s *Service) Launch(n int) ([]*Instance, error) {
 	dc := s.account.dc
 	now := dc.platform.sched.Now()
 
+	// Congestion plane: past the traffic model's utilization knee the
+	// orchestrator sheds launches probabilistically (ErrLaunchFault, so the
+	// attack side's retry machinery engages). Background tenants pass
+	// through the same check — their demand self-regulates under load.
+	// Draws come from a dedicated stream, and only while traffic is
+	// configured, so a quiet world draws nothing here.
+	if ts := dc.traffic; ts != nil {
+		if err := ts.launchCongested(s); err != nil {
+			return nil, err
+		}
+	}
+
 	// Fault plane: a transient platform failure either rejects the launch
 	// up front (quota-throttle style, nothing happened) or aborts it
 	// mid-batch after placement — the mid-batch path then rolls every
@@ -389,6 +401,7 @@ func (s *Service) createInstance(h *Host, now simtime.Time) *Instance {
 	s.insts = append(s.insts, inst)
 	s.activeCount++
 	s.account.bill.Instances++
+	dc.liveInstances++
 	dc.scheduleLifecycle(inst, now)
 	return inst
 }

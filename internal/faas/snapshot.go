@@ -137,6 +137,7 @@ func cloneDataCenter(np *Platform, odc *DataCenter, cl *worldClone) (*DataCenter
 		channelShimWarned: odc.channelShimWarned,
 		faults:            odc.faults,
 		faultCounters:     odc.faultCounters,
+		liveInstances:     odc.liveInstances,
 	}
 	// Selection and derivation scratch is dead between operations by
 	// contract, so the fork starts with fresh (empty) scratch. The lifecycle
@@ -177,6 +178,40 @@ func cloneDataCenter(np *Platform, odc *DataCenter, cl *worldClone) (*DataCenter
 		}
 		ndc.accounts[oa.id] = na
 		ndc.acctSeq = append(ndc.acctSeq, na)
+	}
+
+	// Background traffic is data plus intrusive events, so it deep-copies:
+	// tenants are value structs whose service pointers remap through the
+	// account clones above, the stateless draw streams travel as (mixBase,
+	// draws) counters, and each tenant's pending re-draw timer rebinds in
+	// remapEvent by rank. This is what keeps loaded worlds fork-compatible
+	// where closure-backed workloads (SetWorkload) cannot be.
+	if ot := odc.traffic; ot != nil {
+		nt := &trafficState{
+			dc:        ndc,
+			model:     ot.model,
+			mix1:      ot.mix1,
+			rejectRNG: ot.rejectRNG.Clone(),
+			capacity:  ot.capacity,
+			redraws:   ot.redraws,
+			rejects:   ot.rejects,
+			tenants:   make([]trafficTenant, len(ot.tenants)),
+		}
+		for i := range ot.tenants {
+			o := &ot.tenants[i]
+			n := &nt.tenants[i]
+			n.state = nt
+			n.rank = o.rank
+			n.mixBase = o.mixBase
+			n.base = o.base
+			n.phase = o.phase
+			n.draws = o.draws
+			n.svc = cl.svcs[o.svc]
+			if n.svc == nil {
+				return nil, fmt.Errorf("faas: snapshot: traffic tenant %d's service missing from the clone", i)
+			}
+		}
+		ndc.traffic = nt
 	}
 
 	// Every slot of every host's resident list must have been claimed by a
@@ -335,6 +370,13 @@ func (cl *worldClone) remapEvent(old *simtime.Event, h simtime.Handler) (*simtim
 			return &ns.tickEvent, ns
 		}
 		return cl.fail("pending service event matches neither the decay nor the autoscale timer")
+	case *trafficTenant:
+		ndc := cl.dcs[o.state.dc]
+		if ndc == nil || ndc.traffic == nil || o.rank >= len(ndc.traffic.tenants) {
+			return cl.fail("pending re-draw timer of a traffic tenant missing from the clone")
+		}
+		nt := &ndc.traffic.tenants[o.rank]
+		return &nt.ev, nt
 	case *lifeCohort:
 		ndc := cl.dcs[o.dc]
 		if ndc == nil {
